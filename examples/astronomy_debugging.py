@@ -1,0 +1,95 @@
+"""The §II-A astronomy debugging session, end to end.
+
+An astronomer sees a suspicious star in the final annotated image and works
+*backward* to the raw exposure to find bad pixels; then takes the bad pixels
+and works *forward* to see everything they contaminated.
+
+Run with::
+
+    python examples/astronomy_debugging.py           # small, fast
+    REPRO_FULL=1 python examples/astronomy_debugging.py   # paper-scale images
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro import COMP_ONE_B, SubZero
+from repro.bench.astronomy import UDF_NODES, AstronomyBenchmark
+
+
+def main() -> None:
+    full = bool(os.environ.get("REPRO_FULL"))
+    shape = (512, 2000) if full else (128, 500)
+    print(f"generating two synthetic exposures of shape {shape}...")
+    bench = AstronomyBenchmark(shape=shape, seed=0, n_stars=40, n_cosmic=25)
+
+    # The "SubZero" configuration of Table II: mapping lineage for the 22
+    # built-ins, composite lineage for the 4 UDFs.
+    sz = SubZero(bench.build_spec())
+    sz.use_mapping_where_possible()
+    for udf in UDF_NODES:
+        sz.set_strategy(udf, COMP_ONE_B)
+
+    start = time.perf_counter()
+    instance = sz.run(bench.inputs())
+    print(f"pipeline ran in {time.perf_counter() - start:.2f}s; "
+          f"lineage store: {sz.lineage_disk_bytes() / 1e6:.2f} MB "
+          f"(inputs: {sz.input_bytes() / 1e6:.1f} MB)")
+
+    # -- backward: from a star to the raw pixels --------------------------------
+    labels = instance.output_array("star_detect").values().astype(int)
+    star_ids, counts = np.unique(labels[labels > 0], return_counts=True)
+    star = int(star_ids[np.argmax(counts)])
+    star_cells = np.stack(np.nonzero(labels == star), axis=1)
+    centre = tuple(int(x) for x in star_cells.mean(axis=0))
+    print(f"\nsuspicious star #{star}: {star_cells.shape[0]} pixels around {centre}")
+
+    path = [
+        ("star_detect", 0), ("floor", 0), ("contrast", 0), ("smooth2", 0),
+        ("clip2", 0), ("bg2_sub", 0), ("rescale", 0), ("cr_remove", 0),
+        ("min_combine", 0), ("gain_1", 0), ("clip_1", 0), ("bg_sub_1", 0),
+        ("smooth_1", 0), ("flat_div_1", 0), ("bias_sub_1", 0),
+    ]
+    start = time.perf_counter()
+    back = sz.backward_query(star_cells, path)
+    elapsed = time.perf_counter() - start
+    print(f"backward trace to exposure 1: {back.count} raw pixels "
+          f"in {elapsed * 1e3:.1f} ms")
+
+    raw = instance.source_array("img_1")
+    values = raw.cells_at(back.coords)
+    brightest = tuple(int(x) for x in back.coords[np.argmax(values)])
+    print(f"brightest contributing raw pixel: {brightest} "
+          f"(value {values.max():.0f})")
+
+    # -- forward: what did that bad pixel contaminate? ---------------------------
+    fwd_path = [
+        ("bias_sub_1", 0), ("flat_div_1", 0), ("smooth_1", 0), ("bg_sub_1", 0),
+        ("clip_1", 0), ("gain_1", 0), ("min_combine", 0), ("cr_remove", 0),
+        ("rescale", 0), ("bg2_sub", 0), ("clip2", 0), ("smooth2", 0),
+        ("contrast", 0), ("floor", 0), ("star_detect", 0),
+    ]
+    start = time.perf_counter()
+    fwd = sz.forward_query([brightest], fwd_path)
+    elapsed = time.perf_counter() - start
+    print(f"forward trace of {brightest}: contaminates {fwd.count} cells of "
+          f"the final star map ({elapsed * 1e3:.1f} ms)")
+
+    # -- compare against black-box-only lineage -----------------------------------
+    bb = SubZero(bench.build_spec())
+    bb.use_mapping_where_possible()  # BlackBoxOpt baseline
+    bb.run(bench.inputs())
+    start = time.perf_counter()
+    bb_back = bb.backward_query(star_cells, path)
+    bb_elapsed = time.perf_counter() - start
+    speedup = bb_elapsed / max(elapsed, 1e-9)
+    print(f"\nsame backward query under BlackBoxOpt: {bb_elapsed * 1e3:.1f} ms "
+          f"(SubZero strategy is ~{bb_elapsed / max(back.seconds, 1e-9):.0f}x faster)")
+    assert {tuple(c) for c in bb_back.coords} == {tuple(c) for c in back.coords}
+    print("answers agree cell-for-cell.")
+
+
+if __name__ == "__main__":
+    main()

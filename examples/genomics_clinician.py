@@ -1,0 +1,83 @@
+"""The §II-B clinician visualization queries against the genomics workflow.
+
+A clinician inspects a relapse prediction and asks: which training data
+supports it?  Which training values shaped a model feature?  If a lab value
+is corrected, which predictions change?
+
+Run with::
+
+    python examples/genomics_clinician.py            # scale 10
+    REPRO_FULL=1 python examples/genomics_clinician.py   # paper's 100x scale
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro import FULL_ONE_F, PAY_ONE_B, SubZero
+from repro.bench.genomics import UDF_NODES, GenomicsBenchmark
+
+
+def timed(label, fn):
+    start = time.perf_counter()
+    result = fn()
+    print(f"  {label}: {result.count} cells in {(time.perf_counter() - start) * 1e3:.1f} ms")
+    return result
+
+
+def main() -> None:
+    scale = 100 if os.environ.get("REPRO_FULL") else 10
+    bench = GenomicsBenchmark(scale=scale, seed=0)
+    print(f"patient-feature matrices: train {bench.train.shape}, test {bench.test.shape}")
+
+    # An interactive visualization can afford up-front cost for fast queries
+    # (§II-B), so store payload lineage both ways: backward-optimized payload
+    # plus a forward-optimized full index (the paper's PayBoth).
+    sz = SubZero(bench.build_spec())
+    sz.use_mapping_where_possible()
+    for udf in UDF_NODES:
+        sz.set_strategy(udf, PAY_ONE_B, FULL_ONE_F)
+    instance = sz.run(bench.inputs())
+    print(f"workflow ran; lineage: {sz.lineage_disk_bytes() / 1e6:.2f} MB")
+
+    predictions = instance.output_array("p_thresh").values()[:, 0]
+    relapse_patients = np.nonzero(predictions > 0.5)[0]
+    patient = int(relapse_patients[0]) if relapse_patients.size else 0
+    print(f"\npatient #{patient} is predicted to relapse — why?")
+
+    back_path = [
+        ("p_thresh", 0), ("p_scale", 0), ("predict", 0), ("m_clip", 0),
+        ("m_scale", 0), ("train_model", 0), ("extract_train", 0),
+        ("t_norm", 0), ("t_log", 0), ("t_transpose", 0),
+    ]
+    support = timed(
+        "supporting training cells",
+        lambda: sz.backward_query([(patient, 0)], back_path),
+    )
+
+    print("\nwhich training values shaped model feature 3?")
+    feature_path = [
+        ("train_model", 0), ("extract_train", 0), ("t_norm", 0),
+        ("t_log", 0), ("t_transpose", 0),
+    ]
+    timed(
+        "contributing training cells",
+        lambda: sz.backward_query([(3, 0), (3, 1)], feature_path),
+    )
+
+    print("\na lab corrects three training values — what do they affect?")
+    sources = support.coords[:3]
+    fwd_to_model = [
+        ("t_transpose", 0), ("t_log", 0), ("t_norm", 0),
+        ("extract_train", 0), ("train_model", 0),
+    ]
+    timed("affected model cells", lambda: sz.forward_query(sources, fwd_to_model))
+    fwd_to_pred = fwd_to_model + [
+        ("m_scale", 0), ("m_clip", 0), ("predict", 0), ("p_scale", 0), ("p_thresh", 0),
+    ]
+    timed("affected predictions", lambda: sz.forward_query(sources, fwd_to_pred))
+
+
+if __name__ == "__main__":
+    main()

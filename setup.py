@@ -1,0 +1,22 @@
+"""Setuptools shim.
+
+The offline environment has setuptools but not `wheel`, so PEP 660 editable
+installs (which build an editable wheel) cannot run.  Keeping a setup.py and
+omitting [build-system] from pyproject.toml lets `pip install -e .` use the
+legacy `setup.py develop` path, which works without wheel.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "SubZero: a fine-grained lineage system for scientific databases "
+        "(ICDE 2013 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.9"],
+)

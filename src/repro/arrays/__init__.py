@@ -1,0 +1,14 @@
+"""SciDB-like array substrate: schemas, dense arrays, coordinates, versions."""
+
+from repro.arrays.array import SciArray
+from repro.arrays.schema import ArraySchema, Attribute, Dimension
+from repro.arrays.versions import ArrayVersion, VersionStore
+
+__all__ = [
+    "ArraySchema",
+    "Attribute",
+    "Dimension",
+    "SciArray",
+    "ArrayVersion",
+    "VersionStore",
+]

@@ -1,0 +1,204 @@
+"""Cell-coordinate utilities.
+
+SubZero identifies every array cell by its integer coordinate vector.  Region
+lineage, the encoders, and the query executor all shuttle *sets* of
+coordinates around, so this module fixes one canonical in-memory
+representation and provides fast conversions:
+
+* a **coordinate array** — ``int64`` ndarray of shape ``(n, ndim)``, one row
+  per cell;
+* a **packed array** — ``int64`` ndarray of shape ``(n,)`` where each cell is
+  bit-packed into a single integer via row-major ravelling against a known
+  array shape (the paper bit-packs coordinates into single integers when the
+  array is small enough; ravelling is the same trick generalised);
+* a **mask** — boolean ndarray with the target array's shape, used by the
+  query executor as its deduplicating frontier.
+
+All functions are pure and vectorised; none of them loop over cells in
+Python.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import CoordinateError
+
+__all__ = [
+    "as_coord_array",
+    "pack_coords",
+    "unpack_coords",
+    "coords_to_mask",
+    "mask_to_coords",
+    "dedupe_coords",
+    "bounding_box",
+    "coords_in_box",
+    "box_intersects",
+    "clip_coords",
+    "validate_coords",
+    "empty_coords",
+    "all_coords",
+]
+
+
+def empty_coords(ndim: int) -> np.ndarray:
+    """Return an empty coordinate array with ``ndim`` columns."""
+    return np.empty((0, int(ndim)), dtype=np.int64)
+
+
+def as_coord_array(coords: Iterable | np.ndarray, ndim: int | None = None) -> np.ndarray:
+    """Coerce ``coords`` into the canonical ``(n, ndim)`` int64 array.
+
+    Accepts a single coordinate tuple, a list of tuples, or an ndarray.  A
+    1-D input of length ``ndim`` is treated as a single coordinate.
+    """
+    arr = np.asarray(coords, dtype=np.int64)
+    if arr.ndim == 1:
+        if arr.size == 0:
+            if ndim is None:
+                raise CoordinateError("cannot infer dimensionality of empty coords")
+            return empty_coords(ndim)
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise CoordinateError(f"coordinates must be 2-D (n, ndim); got shape {arr.shape}")
+    if ndim is not None and arr.shape[1] != ndim:
+        raise CoordinateError(
+            f"coordinates have {arr.shape[1]} dimensions; expected {ndim}"
+        )
+    return arr
+
+
+def validate_coords(coords: np.ndarray, shape: Sequence[int]) -> np.ndarray:
+    """Validate that every coordinate falls inside ``shape``.
+
+    Returns the canonical coordinate array; raises
+    :class:`~repro.errors.CoordinateError` on the first violation.
+    """
+    arr = as_coord_array(coords, ndim=len(shape))
+    if arr.size == 0:
+        return arr
+    shape_arr = np.asarray(shape, dtype=np.int64)
+    if (arr < 0).any() or (arr >= shape_arr).any():
+        bad = arr[((arr < 0) | (arr >= shape_arr)).any(axis=1)][0]
+        raise CoordinateError(f"coordinate {tuple(bad)} outside array shape {tuple(shape)}")
+    return arr
+
+
+def pack_coords(coords: np.ndarray, shape: Sequence[int]) -> np.ndarray:
+    """Bit-pack coordinates into single int64s (row-major ravel order)."""
+    arr = validate_coords(coords, shape)
+    if arr.shape[0] == 0:
+        return np.empty(0, dtype=np.int64)
+    packed = np.ravel_multi_index(tuple(arr.T), tuple(shape))
+    return packed.astype(np.int64, copy=False)
+
+
+def unpack_coords(packed: np.ndarray, shape: Sequence[int]) -> np.ndarray:
+    """Inverse of :func:`pack_coords`."""
+    packed = np.asarray(packed, dtype=np.int64).ravel()
+    if packed.size == 0:
+        return empty_coords(len(shape))
+    size = int(np.prod(shape))
+    if (packed < 0).any() or (packed >= size).any():
+        raise CoordinateError("packed coordinate outside array extent")
+    unpacked = np.unravel_index(packed, tuple(shape))
+    return np.stack(unpacked, axis=1).astype(np.int64, copy=False)
+
+
+def coords_to_mask(coords: np.ndarray, shape: Sequence[int]) -> np.ndarray:
+    """Render a coordinate set as a boolean mask of the array's shape."""
+    mask = np.zeros(tuple(shape), dtype=bool)
+    arr = validate_coords(coords, shape)
+    if arr.shape[0]:
+        mask[tuple(arr.T)] = True
+    return mask
+
+
+def mask_to_coords(mask: np.ndarray) -> np.ndarray:
+    """Return the coordinates of every set bit in ``mask``."""
+    idx = np.nonzero(np.asarray(mask, dtype=bool))
+    if len(idx) == 0:
+        return empty_coords(0)
+    return np.stack(idx, axis=1).astype(np.int64, copy=False)
+
+
+def dedupe_coords(coords: np.ndarray) -> np.ndarray:
+    """Drop duplicate coordinate rows (order not preserved)."""
+    arr = as_coord_array(coords)
+    if arr.shape[0] <= 1:
+        return arr
+    return np.unique(arr, axis=0)
+
+
+def bounding_box(coords: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return the inclusive ``(lo, hi)`` bounding box of a coordinate set."""
+    arr = as_coord_array(coords)
+    if arr.shape[0] == 0:
+        raise CoordinateError("bounding box of an empty coordinate set is undefined")
+    return arr.min(axis=0), arr.max(axis=0)
+
+
+def coords_in_box(coords: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+    """Boolean row-mask of coordinates inside the inclusive box ``[lo, hi]``."""
+    arr = as_coord_array(coords)
+    lo = np.asarray(lo, dtype=np.int64)
+    hi = np.asarray(hi, dtype=np.int64)
+    if arr.shape[0] == 0:
+        return np.zeros(0, dtype=bool)
+    return ((arr >= lo) & (arr <= hi)).all(axis=1)
+
+
+def box_intersects(
+    lo_a: np.ndarray, hi_a: np.ndarray, lo_b: np.ndarray, hi_b: np.ndarray
+) -> bool:
+    """True when two inclusive integer boxes overlap in every dimension."""
+    return bool(np.all(np.asarray(lo_a) <= np.asarray(hi_b)) and np.all(np.asarray(lo_b) <= np.asarray(hi_a)))
+
+
+def clip_coords(coords: np.ndarray, shape: Sequence[int]) -> np.ndarray:
+    """Drop coordinate rows that fall outside ``shape``.
+
+    Mapping functions for windowed operators (e.g. convolution) produce
+    neighbourhoods that spill past array edges; this trims them.
+    """
+    arr = as_coord_array(coords, ndim=len(shape))
+    if arr.shape[0] == 0:
+        return arr
+    shape_arr = np.asarray(shape, dtype=np.int64)
+    keep = ((arr >= 0) & (arr < shape_arr)).all(axis=1)
+    return arr[keep]
+
+
+def isin_sorted(values: np.ndarray, sorted_array: np.ndarray) -> np.ndarray:
+    """Membership of ``values`` in an ascending-sorted int64 array.
+
+    ``np.isin`` re-sorts its second argument on every call, which is ruinous
+    inside per-entry store loops; this binary-searches instead.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    if sorted_array.size == 0:
+        return np.zeros(values.shape, dtype=bool)
+    pos = np.minimum(
+        np.searchsorted(sorted_array, values), sorted_array.size - 1
+    )
+    return sorted_array[pos] == values
+
+
+def unique_coords(coords: np.ndarray, shape: Sequence[int]) -> np.ndarray:
+    """Deduplicate coordinates fast by packing against ``shape`` first.
+
+    Orders of magnitude faster than :func:`dedupe_coords` for large sets
+    because uniqueness runs on a flat int64 vector.
+    """
+    arr = as_coord_array(coords, ndim=len(shape))
+    if arr.shape[0] <= 1:
+        return arr
+    return unpack_coords(np.unique(pack_coords(arr, shape)), shape)
+
+
+def all_coords(shape: Sequence[int]) -> np.ndarray:
+    """Every coordinate of an array of ``shape``, in row-major order."""
+    size = int(np.prod(shape))
+    return unpack_coords(np.arange(size, dtype=np.int64), shape)

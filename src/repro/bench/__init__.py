@@ -1,0 +1,40 @@
+"""Benchmark workloads: astronomy (LSST), genomics, and the microbenchmark."""
+
+from repro.bench.astronomy import AstronomyBenchmark
+from repro.bench.genomics import GenomicsBenchmark
+from repro.bench.harness import (
+    ASTRONOMY_CONFIGS,
+    GENOMICS_CONFIGS,
+    MICRO_CONFIGS,
+    StrategyRun,
+    astronomy_table,
+    genomics_table,
+    micro_overhead_table,
+    micro_query_table,
+    run_astronomy,
+    run_genomics,
+    run_genomics_optimizer,
+    run_micro,
+)
+from repro.bench.micro import MicroBenchmark, SyntheticLineageOp
+from repro.bench.report import ResultTable
+
+__all__ = [
+    "AstronomyBenchmark",
+    "GenomicsBenchmark",
+    "MicroBenchmark",
+    "SyntheticLineageOp",
+    "ResultTable",
+    "StrategyRun",
+    "ASTRONOMY_CONFIGS",
+    "GENOMICS_CONFIGS",
+    "MICRO_CONFIGS",
+    "run_astronomy",
+    "run_genomics",
+    "run_genomics_optimizer",
+    "run_micro",
+    "astronomy_table",
+    "genomics_table",
+    "micro_overhead_table",
+    "micro_query_table",
+]

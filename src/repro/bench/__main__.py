@@ -1,0 +1,125 @@
+"""Command-line experiment runner: regenerate the paper's figures.
+
+Usage::
+
+    python -m repro.bench fig5            # astronomy (Figure 5)
+    python -m repro.bench fig6            # genomics static + dynamic (Figure 6)
+    python -m repro.bench fig7            # optimizer budget sweep (Figure 7)
+    python -m repro.bench fig8 fig9       # microbenchmark (Figures 8 & 9)
+    python -m repro.bench all --full      # everything at paper scale
+    python -m repro.bench fig5 --csv out/ # also write CSV series
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.bench.harness import (
+    astronomy_table,
+    genomics_table,
+    micro_overhead_table,
+    micro_query_table,
+    run_astronomy,
+    run_genomics,
+    run_genomics_optimizer,
+    run_micro,
+)
+
+
+def _maybe_csv(table, csv_dir: str | None, name: str) -> None:
+    if csv_dir:
+        table.to_csv(os.path.join(csv_dir, f"{name}.csv"))
+
+
+def fig5(full: bool, csv_dir: str | None) -> None:
+    shape = (512, 2000) if full else (128, 500)
+    runs = run_astronomy(shape=shape, seed=0)
+    overhead, queries = astronomy_table(runs)
+    overhead.print()
+    queries.print()
+    _maybe_csv(overhead, csv_dir, "fig5a_overhead")
+    _maybe_csv(queries, csv_dir, "fig5b_queries")
+
+
+def fig6(full: bool, csv_dir: str | None) -> None:
+    scale = 100 if full else 25
+    static = run_genomics(scale=scale, seed=0, query_opt=False)
+    table = genomics_table(static, "Figure 6(a)+(b): static strategies")
+    table.print()
+    _maybe_csv(table, csv_dir, "fig6ab_static")
+    dynamic = run_genomics(scale=scale, seed=0, query_opt=True)
+    table = genomics_table(dynamic, "Figure 6(c): with the query-time optimizer")
+    table.print()
+    _maybe_csv(table, csv_dir, "fig6c_dynamic")
+
+
+def fig7(full: bool, csv_dir: str | None) -> None:
+    scale = 100 if full else 25
+    budgets = tuple(b * scale / 100 for b in (1, 10, 20, 50, 100))
+    runs = run_genomics_optimizer(budgets_mb=budgets, scale=scale, seed=0)
+    for run, paper_budget in zip(runs, (1, 10, 20, 50, 100)):
+        run.label = f"SubZero{paper_budget}"
+    table = genomics_table(runs, "Figure 7: optimizer under storage budgets")
+    table.print()
+    _maybe_csv(table, csv_dir, "fig7_optimizer")
+
+
+def fig8(full: bool, csv_dir: str | None) -> None:
+    rows = _micro_rows(full)
+    table = micro_overhead_table(rows)
+    table.print()
+    _maybe_csv(table, csv_dir, "fig8_overhead")
+
+
+def fig9(full: bool, csv_dir: str | None) -> None:
+    rows = _micro_rows(full)
+    table = micro_query_table(rows)
+    table.print()
+    _maybe_csv(table, csv_dir, "fig9_queries")
+
+
+def _micro_rows(full: bool):
+    return run_micro(
+        fanins=(1, 10, 25, 50, 75, 100) if full else (1, 25, 100),
+        fanouts=(1, 100),
+        shape=(1000, 1000) if full else (400, 400),
+        query_cells=1000 if full else 500,
+        seed=0,
+    )
+
+
+FIGURES = {"fig5": fig5, "fig6": fig6, "fig7": fig7, "fig8": fig8, "fig9": fig9}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the SubZero paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="+",
+        choices=sorted(FIGURES) + ["all"],
+        help="which figures to regenerate",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-scale parameters (slower): 512x2000 images, 100x genomics, "
+        "1000x1000 micro arrays",
+    )
+    parser.add_argument("--csv", metavar="DIR", help="also write CSV series to DIR")
+    args = parser.parse_args(argv)
+
+    if args.csv:
+        os.makedirs(args.csv, exist_ok=True)
+    wanted = sorted(FIGURES) if "all" in args.figures else args.figures
+    for name in wanted:
+        FIGURES[name](args.full, args.csv)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

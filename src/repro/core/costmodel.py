@@ -1,0 +1,270 @@
+"""Cost model: disk, runtime-overhead, and query-cost estimates.
+
+Feeds both optimizers (§VII): the lineage-strategy ILP consumes
+``disk_bytes`` / ``write_seconds`` / ``query_seconds`` per (operator,
+strategy), and the query-time optimizer compares ``query_seconds`` of the
+materialised strategies against re-execution at every step.
+
+Estimates prefer *measured* values recorded by the statistics collector
+(actual store sizes, actual write times, observed query times, observed
+re-execution times) and fall back to closed-form formulas over the
+operator's pair statistics gathered during a profiling run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.modes import (
+    EncodingKind,
+    LineageMode,
+    Orientation,
+    StorageStrategy,
+)
+from repro.core.stats import OperatorStats, StatsCollector
+from repro.errors import OptimizationError
+
+__all__ = ["CostConstants", "CostModel"]
+
+
+@dataclass(frozen=True)
+class CostConstants:
+    """Calibration constants (seconds / bytes per primitive operation).
+
+    Absolute values matter less than ratios; they were calibrated once on
+    the development machine with the microbenchmark generator.
+    """
+
+    hash_probe_s: float = 2.0e-6  # per query cell, direct hash lookup
+    rtree_probe_s: float = 2.5e-5  # per query cell, spatial index descent
+    scan_entry_s: float = 1.5e-6  # per stored entry, mismatched-index cursor
+    decode_cell_s: float = 6.0e-8  # per lineage cell materialised
+    map_cell_s: float = 4.0e-7  # per cell through a mapping function
+    payload_apply_s: float = 3.0e-6  # per payload group expanded via map_p
+    join_cell_s: float = 1.2e-7  # per captured pair joined after re-execution
+    write_cell_s: float = 2.5e-7  # per cell encoded into a store
+    index_entry_s: float = 1.2e-6  # per entry inserted into the R-tree
+    key_bytes: int = 8
+    ref_bytes: int = 8
+    enc_cell_bytes: float = 9.0  # average encoded cell footprint
+    entry_overhead_bytes: int = 14
+    rtree_entry_bytes: int = 40
+    default_reexec_s: float = 0.05  # before any measurement exists
+
+    @classmethod
+    def calibrate(cls, n: int = 50_000, seed: int = 0) -> "CostConstants":
+        """Measure this machine's per-primitive costs on synthetic stores.
+
+        Calibrating tightens the query-time optimizer's decisions; the
+        defaults are fine for correctness (only orderings matter).
+        """
+        import time
+
+        import numpy as np
+
+        from repro.storage.kvstore import HashStore
+        from repro.storage.rtree import RTree
+
+        rng = np.random.default_rng(seed)
+        keys = rng.choice(4 * n, size=n, replace=False).astype(np.int64)
+
+        store = HashStore("calib")
+        store.put_many_fixed(keys, keys)
+        store.finalize()
+        probe_keys = keys[: max(1, n // 10)]
+        start = time.perf_counter()
+        store.lookup_refs(probe_keys)
+        hash_probe = (time.perf_counter() - start) / probe_keys.size
+
+        points = np.stack([keys % 1000, keys // 1000], axis=1)
+        tree = RTree.from_points(points[: n // 5])
+        start = time.perf_counter()
+        for point in points[:200]:
+            tree.query_point(point)
+        rtree_probe = (time.perf_counter() - start) / 200
+
+        start = time.perf_counter()
+        count = 0
+        for _ in store.scan():
+            count += 1
+            if count >= n // 5:
+                break
+        scan_entry = (time.perf_counter() - start) / max(1, count)
+
+        start = time.perf_counter()
+        shape = (2000, 2000)
+        coords = np.stack([keys % 2000, (keys // 2000) % 2000], axis=1)
+        from repro.arrays import coords as C
+
+        C.pack_coords(coords, shape)
+        map_cell = (time.perf_counter() - start) / n
+
+        base = cls()
+        return cls(
+            hash_probe_s=max(hash_probe, 1e-8),
+            rtree_probe_s=max(rtree_probe, 1e-7),
+            scan_entry_s=max(scan_entry, 1e-8),
+            map_cell_s=max(map_cell, 1e-9),
+            decode_cell_s=base.decode_cell_s,
+            payload_apply_s=base.payload_apply_s,
+            join_cell_s=base.join_cell_s,
+            write_cell_s=base.write_cell_s,
+            index_entry_s=base.index_entry_s,
+        )
+
+
+class CostModel:
+    """Estimates keyed by (node, strategy); see module docstring."""
+
+    def __init__(
+        self, stats: StatsCollector, constants: CostConstants | None = None
+    ):
+        self.stats = stats
+        self.k = constants or CostConstants()
+
+    # -- helpers ------------------------------------------------------------
+
+    def _entries(self, s: OperatorStats, strategy: StorageStrategy) -> float:
+        """How many store entries the strategy materialises for this node."""
+        if strategy.mode in (LineageMode.PAY, LineageMode.COMP):
+            if strategy.encoding is EncodingKind.ONE:
+                return float(s.n_payload_outcells)
+            return float(s.n_payload_pairs)
+        if strategy.encoding is EncodingKind.MANY:
+            return float(s.n_pairs)
+        if strategy.orientation is Orientation.BACKWARD:
+            return float(s.n_outcells)
+        return float(s.n_incells)
+
+    # -- ILP inputs ------------------------------------------------------------
+
+    def disk_bytes(self, node: str, strategy: StorageStrategy) -> float:
+        """Bytes the strategy would occupy for ``node`` (measured if known)."""
+        if not strategy.stores_pairs:
+            return 0.0
+        s = self.stats.get(node)
+        measured = s.disk_bytes.get(strategy.label)
+        if measured is not None:
+            return float(measured)
+        k = self.k
+        full_out = s.n_outcells - s.n_payload_outcells
+        if strategy.mode in (LineageMode.PAY, LineageMode.COMP):
+            per_pair_payload = s.payload_bytes_avg
+            if strategy.encoding is EncodingKind.ONE:
+                return s.n_payload_outcells * (k.key_bytes + per_pair_payload)
+            return s.n_payload_outcells * k.key_bytes + s.n_payload_pairs * (
+                per_pair_payload + k.entry_overhead_bytes + k.rtree_entry_bytes
+            )
+        cells_key = full_out if strategy.orientation is Orientation.BACKWARD else s.n_incells
+        cells_val = s.n_incells if strategy.orientation is Orientation.BACKWARD else full_out
+        if strategy.encoding is EncodingKind.ONE:
+            return (
+                cells_key * (k.key_bytes + k.ref_bytes)
+                + cells_val * k.enc_cell_bytes
+            )
+        return (
+            cells_key * k.key_bytes
+            + cells_val * k.enc_cell_bytes
+            + s.n_pairs * (k.entry_overhead_bytes + k.rtree_entry_bytes)
+        )
+
+    def write_seconds(self, node: str, strategy: StorageStrategy) -> float:
+        """Runtime overhead the strategy adds to the workflow for ``node``."""
+        if not strategy.stores_pairs:
+            return 0.0
+        s = self.stats.get(node)
+        measured = s.write_seconds.get(strategy.label)
+        if measured is not None:
+            return float(measured)
+        k = self.k
+        cells = s.n_outcells + (
+            s.n_incells
+            if strategy.mode is LineageMode.FULL
+            else s.n_payload_pairs
+        )
+        seconds = cells * k.write_cell_s
+        if strategy.encoding is EncodingKind.MANY:
+            seconds += self._entries(s, strategy) * k.index_entry_s
+        return seconds
+
+    # -- per-step query cost ----------------------------------------------------------
+
+    def reexec_seconds(self, node: str) -> float:
+        s = self.stats.get(node)
+        if s.reexec_seconds is not None:
+            base = s.reexec_seconds
+        elif s.compute_seconds:
+            base = s.compute_seconds
+        else:
+            base = self.k.default_reexec_s
+        return base + s.n_pairs * self.k.join_cell_s
+
+    def query_seconds(
+        self,
+        node: str,
+        strategy: StorageStrategy,
+        direction_backward: bool,
+        n_query_cells: int,
+    ) -> float:
+        """Estimated cost of one query step over ``n_query_cells``."""
+        s = self.stats.get(node)
+        k = self.k
+        n = max(1, int(n_query_cells))
+        fanin = max(1.0, s.fanin_avg)
+        if strategy.mode is LineageMode.BLACKBOX:
+            return self.reexec_seconds(node)
+        if strategy.mode is LineageMode.MAP:
+            return n * k.map_cell_s
+        measured = s.observed_query_seconds.get(
+            self._observation_key(strategy, direction_backward)
+        )
+        if measured is not None:
+            return measured
+        entries = self._entries(s, strategy)
+        probe = (
+            k.hash_probe_s
+            if strategy.encoding is EncodingKind.ONE
+            else k.rtree_probe_s
+        )
+        if strategy.mode is LineageMode.FULL:
+            matched = (strategy.orientation is Orientation.BACKWARD) == direction_backward
+            if matched:
+                return n * probe + n * fanin * k.decode_cell_s
+            return entries * k.scan_entry_s + entries * k.decode_cell_s
+        # payload / composite strategies are always backward-optimized
+        if direction_backward:
+            cost = n * probe + n * k.payload_apply_s
+            if strategy.mode is LineageMode.COMP:
+                cost += n * k.map_cell_s
+            return cost
+        cost = entries * (k.scan_entry_s + k.payload_apply_s / 8.0)
+        if strategy.mode is LineageMode.COMP:
+            cost += n * k.map_cell_s
+        return cost
+
+    @staticmethod
+    def _observation_key(strategy: StorageStrategy, direction_backward: bool) -> str:
+        arrow = "b" if direction_backward else "f"
+        return f"{strategy.label}|{arrow}"
+
+    def record_observation(
+        self,
+        node: str,
+        strategy: StorageStrategy,
+        direction_backward: bool,
+        seconds: float,
+    ) -> None:
+        self.stats.record_query(
+            node, self._observation_key(strategy, direction_backward), seconds
+        )
+
+    # -- sanity -----------------------------------------------------------------------
+
+    def require_profiled(self, node: str) -> OperatorStats:
+        s = self.stats.get(node)
+        if s.output_size == 0:
+            raise OptimizationError(
+                f"no statistics recorded for node {node!r}; run the workflow "
+                "(or a profiling pass) before optimizing"
+            )
+        return s

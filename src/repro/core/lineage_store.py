@@ -1,0 +1,938 @@
+"""Per-operator lineage stores: the encoding strategies of §VI-B.
+
+Each workflow node that stores region lineage gets one store object per
+:class:`~repro.core.modes.StorageStrategy`.  The four concrete layouts match
+Figure 4 of the paper:
+
+``FullOne``
+    One hash entry per key-side *cell*; the value references a single shared
+    entry holding the other side's cells (or, for one-to-one pairs written
+    through the bulk API, the single cell is inlined — same 8 bytes, no
+    indirection).  Queries are direct hash lookups.
+
+``FullMany``
+    One entry per *region pair*: the key is the serialized key-side cell
+    set, indexed by an R-tree over its bounding box; the value is the
+    serialized other side.
+
+``PayOne`` / ``PayMany``
+    As above, but the value is the developer payload (duplicated per key
+    cell for ``PayOne``, exactly as the paper describes).  Composite lineage
+    reuses the payload layouts.
+
+Every store is *oriented*: backward-optimized stores key by output cells,
+forward-optimized ones key by input cells (one sub-store per input array,
+since cells of different inputs would collide after bit-packing).  Queries
+against the matching orientation are hash probes / R-tree descents; queries
+against the wrong orientation fall back to a cursor scan over every entry —
+the expensive mismatch the paper measures in Figure 6(b).
+
+All public methods speak *packed* coordinates (int64, see
+:mod:`repro.arrays.coords`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arrays import coords as C
+from repro.core.model import BufferSink
+from repro.core.modes import (
+    EncodingKind,
+    LineageMode,
+    Orientation,
+    StorageStrategy,
+)
+from repro.errors import LineageError, StorageError
+from repro.storage import serialize as ser
+from repro.storage.kvstore import BlobStore, HashStore
+from repro.storage.rtree import RTree
+
+__all__ = ["OpLineageStore", "RegionEntryTable", "make_store"]
+
+
+def encode_singleton_int_arrays(values: np.ndarray) -> np.ndarray:
+    """Vectorised ``encode_int_array([v])`` for many ``v`` at once.
+
+    Single-element arrays always serialize to the same 12-byte layout
+    (magic, sorted flag, count=1, width=1, 8-byte base), so a whole batch
+    can be emitted as an ``(n, 12)`` uint8 matrix without a Python loop.
+    """
+    values = np.ascontiguousarray(values, dtype=np.int64)
+    n = values.size
+    out = np.empty((n, 12), dtype=np.uint8)
+    out[:, 0] = 0x49
+    out[:, 1] = 0x01
+    out[:, 2] = 0x01
+    out[:, 3] = 0x01
+    out[:, 4:] = values.astype("<i8").view(np.uint8).reshape(n, 8)
+    return out
+
+
+def encode_full_value(incells_per_input: list[np.ndarray]) -> bytes:
+    """Serialize one region pair's per-input packed cell sets."""
+    return b"".join(ser.encode_int_array(np.sort(arr)) for arr in incells_per_input)
+
+
+def decode_full_value(buf: bytes, arity: int) -> list[np.ndarray]:
+    out = []
+    offset = 0
+    for _ in range(arity):
+        arr, offset = ser.decode_int_array(buf, offset)
+        out.append(arr)
+    return out
+
+
+class RegionEntryTable:
+    """Columnar table of (key cell set, value blob) entries with an R-tree
+    over the key sets' bounding boxes (the *Many layouts)."""
+
+    def __init__(self, key_shape: tuple[int, ...]):
+        self.key_shape = tuple(key_shape)
+        self._key_chunks: list[np.ndarray] = []
+        self._klen_chunks: list[np.ndarray] = []
+        self._val_chunks: list[bytes] = []
+        self._vlen_chunks: list[np.ndarray] = []
+        self._keys: np.ndarray | None = None
+        self._koff: np.ndarray | None = None
+        self._vbuf: bytes = b""
+        self._voff: np.ndarray | None = None
+        self._lo: np.ndarray | None = None
+        self._hi: np.ndarray | None = None
+        self._rtree: RTree | None = None
+        self._dirty = False
+
+    # -- writes ----------------------------------------------------------------
+
+    def add_entry(self, key_packed: np.ndarray, value: bytes) -> None:
+        key_packed = np.sort(np.ascontiguousarray(key_packed, dtype=np.int64))
+        if key_packed.size == 0:
+            raise StorageError("a region entry needs at least one key cell")
+        self._key_chunks.append(key_packed)
+        self._klen_chunks.append(np.asarray([key_packed.size], dtype=np.int64))
+        self._val_chunks.append(bytes(value))
+        self._vlen_chunks.append(np.asarray([len(value)], dtype=np.int64))
+        self._dirty = True
+
+    def add_singleton_entries(
+        self, keys_packed: np.ndarray, val_buf: bytes, val_lengths: np.ndarray
+    ) -> None:
+        """Bulk-add ``n`` entries whose key side is a single cell each."""
+        keys_packed = np.ascontiguousarray(keys_packed, dtype=np.int64)
+        n = keys_packed.size
+        if n == 0:
+            return
+        val_lengths = np.ascontiguousarray(val_lengths, dtype=np.int64)
+        if val_lengths.size != n or int(val_lengths.sum()) != len(val_buf):
+            raise StorageError("value lengths must align with keys and span buffer")
+        self._key_chunks.append(keys_packed)
+        self._klen_chunks.append(np.ones(n, dtype=np.int64))
+        self._val_chunks.append(bytes(val_buf))
+        self._vlen_chunks.append(val_lengths)
+        self._dirty = True
+
+    # -- finalize -----------------------------------------------------------------
+
+    def finalize(self) -> None:
+        if not self._dirty:
+            return
+        new_keys = np.concatenate(self._key_chunks) if self._key_chunks else None
+        if new_keys is None:
+            return
+        new_klens = np.concatenate(self._klen_chunks)
+        new_vbuf = b"".join(self._val_chunks)
+        new_vlens = np.concatenate(self._vlen_chunks)
+        if self._keys is not None:
+            old_klens = np.diff(self._koff)
+            old_vlens = np.diff(self._voff)
+            keys = np.concatenate([self._keys, new_keys])
+            klens = np.concatenate([old_klens, new_klens])
+            vbuf = self._vbuf + new_vbuf
+            vlens = np.concatenate([old_vlens, new_vlens])
+        else:
+            keys, klens, vbuf, vlens = new_keys, new_klens, new_vbuf, new_vlens
+        n = klens.size
+        koff = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(klens, out=koff[1:])
+        voff = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(vlens, out=voff[1:])
+        coords = C.unpack_coords(keys, self.key_shape)
+        lo = np.minimum.reduceat(coords, koff[:-1], axis=0)
+        hi = np.maximum.reduceat(coords, koff[:-1], axis=0)
+        self._keys, self._koff = keys, koff
+        self._vbuf, self._voff = vbuf, voff
+        self._lo, self._hi = lo, hi
+        self._rtree = RTree.build(lo, hi)
+        self._key_chunks, self._klen_chunks = [], []
+        self._val_chunks, self._vlen_chunks = [], []
+        self._dirty = False
+
+    # -- reads -------------------------------------------------------------------
+
+    @property
+    def n_entries(self) -> int:
+        pending = sum(arr.size for arr in self._klen_chunks)
+        stored = self._koff.size - 1 if self._koff is not None else 0
+        return pending + stored
+
+    def candidate_entries(self, query_coords: np.ndarray) -> np.ndarray:
+        """Entry ids whose bounding boxes contain any query coordinate.
+
+        Small queries probe the R-tree once per cell; large frontiers switch
+        to a spatial-join style vectorised sweep over the entry boxes (one
+        tree descent per cell would dominate when the frontier covers a
+        large fraction of the array).
+        """
+        self.finalize()
+        if self._rtree is None or query_coords.shape[0] == 0:
+            return np.empty(0, dtype=np.int64)
+        n_entries = self._koff.size - 1
+        if query_coords.shape[0] <= min(2048, max(64, n_entries // 8)):
+            hits = [self._rtree.query_point(coord) for coord in query_coords]
+            return np.unique(np.concatenate(hits))
+        qlo = query_coords.min(axis=0)
+        qhi = query_coords.max(axis=0)
+        box_hit = ((self._lo <= qhi) & (self._hi >= qlo)).all(axis=1)
+        return np.nonzero(box_hit)[0].astype(np.int64)
+
+    def all_singleton_keys(self) -> np.ndarray | None:
+        """The flat key vector when every entry holds exactly one key cell
+        (enables fully vectorised matching); None otherwise."""
+        self.finalize()
+        if self._koff is None:
+            return np.empty(0, dtype=np.int64)
+        if self._koff.size - 1 != self._keys.size:
+            return None
+        return self._keys
+
+    def entry_keys(self, entry_id: int) -> np.ndarray:
+        self.finalize()
+        return self._keys[self._koff[entry_id]: self._koff[entry_id + 1]]
+
+    def entry_value(self, entry_id: int) -> bytes:
+        self.finalize()
+        return self._vbuf[self._voff[entry_id]: self._voff[entry_id + 1]]
+
+    def iter_entries(self):
+        """Cursor over ``(key_cells, value)`` — the mismatched-index path."""
+        self.finalize()
+        if self._koff is None:
+            return
+        for e in range(self._koff.size - 1):
+            yield self._keys[self._koff[e]: self._koff[e + 1]], self._vbuf[
+                self._voff[e]: self._voff[e + 1]
+            ]
+
+    def all_key_cells(self) -> np.ndarray:
+        self.finalize()
+        if self._keys is None:
+            return np.empty(0, dtype=np.int64)
+        return self._keys
+
+    def entry_boxes(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-entry inclusive bounding boxes ``(lo, hi)`` of the key cells
+        (used by the §V-B bounding-box-predicate ablation)."""
+        self.finalize()
+        if self._lo is None:
+            empty = np.empty((0, len(self.key_shape)), dtype=np.int64)
+            return empty, empty
+        return self._lo, self._hi
+
+    # -- persistence ---------------------------------------------------------------
+
+    def flush(self, path: str) -> int:
+        """Write the finalized table to one file; boxes and the R-tree are
+        derived data and rebuilt on load."""
+        import os
+        import struct
+
+        self.finalize()
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(path, "wb") as fh:
+            if self._koff is None:
+                fh.write(struct.pack("<qq", 0, 0))
+            else:
+                n = self._koff.size - 1
+                fh.write(struct.pack("<qq", n, self._keys.size))
+                fh.write(self._keys.astype("<i8").tobytes())
+                fh.write(self._koff.astype("<i8").tobytes())
+                fh.write(self._voff.astype("<i8").tobytes())
+                fh.write(self._vbuf)
+        return os.path.getsize(path)
+
+    @classmethod
+    def load(cls, path: str, key_shape: tuple[int, ...]) -> "RegionEntryTable":
+        import struct
+
+        table = cls(key_shape)
+        with open(path, "rb") as fh:
+            raw = fh.read()
+        n, n_keys = struct.unpack_from("<qq", raw, 0)
+        if n == 0:
+            return table
+        offset = 16
+        keys = np.frombuffer(raw, dtype="<i8", count=n_keys, offset=offset).astype(np.int64)
+        offset += 8 * n_keys
+        koff = np.frombuffer(raw, dtype="<i8", count=n + 1, offset=offset).astype(np.int64)
+        offset += 8 * (n + 1)
+        voff = np.frombuffer(raw, dtype="<i8", count=n + 1, offset=offset).astype(np.int64)
+        offset += 8 * (n + 1)
+        vbuf = raw[offset:]
+        # re-register the data as pending chunks so finalize() rebuilds
+        # the bounding boxes and R-tree
+        table._key_chunks = [keys]
+        table._klen_chunks = [np.diff(koff)]
+        table._val_chunks = [vbuf]
+        table._vlen_chunks = [np.diff(voff)]
+        table._dirty = True
+        table.finalize()
+        return table
+
+    def disk_bytes(self) -> int:
+        self.finalize()
+        if self._keys is None:
+            return 0
+        total = self._keys.nbytes + len(self._vbuf)
+        total += self._koff.nbytes + self._voff.nbytes
+        total += self._rtree.nbytes() if self._rtree is not None else 0
+        return int(total)
+
+
+class OpLineageStore:
+    """Base class: strategy-specific layout + shared accounting."""
+
+    def __init__(
+        self,
+        node: str,
+        strategy: StorageStrategy,
+        out_shape: tuple[int, ...],
+        in_shapes: tuple[tuple[int, ...], ...],
+    ):
+        self.node = node
+        self.strategy = strategy
+        self.out_shape = tuple(out_shape)
+        self.in_shapes = tuple(tuple(s) for s in in_shapes)
+        self.arity = len(in_shapes)
+        self.write_seconds = 0.0
+
+    # -- writes -------------------------------------------------------------
+
+    def ingest(self, sink: BufferSink) -> None:
+        raise NotImplementedError
+
+    def finalize_if_possible(self) -> None:
+        """Sort/index pending writes now so the cost lands at write time,
+        mirroring the paper's bulk encoding during workflow execution."""
+        for store in self._hash_stores():
+            store.finalize()
+        for table in self._entry_tables():
+            table.finalize()
+
+    def _hash_stores(self) -> list[HashStore]:
+        return []
+
+    def _entry_tables(self) -> list["RegionEntryTable"]:
+        return []
+
+    # -- persistence -------------------------------------------------------
+
+    def _components(self) -> dict[str, object]:
+        """Named sub-stores, for flush/load; overridden per layout."""
+        return {}
+
+    def _set_component(self, name: str, obj) -> None:
+        raise StorageError(f"{type(self).__name__} has no component {name!r}")
+
+    def flush_to(self, directory: str) -> int:
+        """Persist every component under ``directory``; returns bytes written."""
+        import os
+
+        os.makedirs(directory, exist_ok=True)
+        total = 0
+        for name, component in self._components().items():
+            total += component.flush(os.path.join(directory, f"{name}.bin"))
+        return total
+
+    def load_from(self, directory: str) -> None:
+        """Replace every component with its persisted counterpart."""
+        import os
+
+        for name, component in self._components().items():
+            path = os.path.join(directory, f"{name}.bin")
+            if isinstance(component, HashStore):
+                self._set_component(name, HashStore.load(path, name))
+            elif isinstance(component, BlobStore):
+                self._set_component(name, BlobStore.load(path, name))
+            else:
+                shape = component.key_shape
+                self._set_component(name, RegionEntryTable.load(path, shape))
+
+    # -- matched-orientation reads -------------------------------------------
+
+    def backward_full(self, qpacked: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        raise LineageError(f"{self.strategy.label} cannot serve backward_full")
+
+    def forward_full(self, qpacked: np.ndarray, input_idx: int) -> np.ndarray:
+        raise LineageError(f"{self.strategy.label} cannot serve forward_full")
+
+    def backward_payload(
+        self, qpacked: np.ndarray
+    ) -> tuple[np.ndarray, list[tuple[np.ndarray, bytes]]]:
+        raise LineageError(f"{self.strategy.label} cannot serve backward_payload")
+
+    def backward_payload_rows(
+        self, qpacked: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, list[bytes]] | None:
+        """Row-per-hit variant ``(matched, hit_cells, payloads)`` for layouts
+        whose entries are single cells; None when entries may hold many."""
+        return None
+
+    # -- mismatched-orientation reads (cursor scans) ------------------------------
+
+    def scan_forward_full(
+        self, qpacked: np.ndarray, input_idx: int, ticker=None
+    ) -> np.ndarray:
+        raise LineageError(f"{self.strategy.label} cannot serve scan_forward_full")
+
+    def scan_backward_full(
+        self, qpacked: np.ndarray, ticker=None
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        raise LineageError(f"{self.strategy.label} cannot serve scan_backward_full")
+
+    def scan_payload_entries(self):
+        raise LineageError(f"{self.strategy.label} stores no payload entries")
+
+    def overridden_keys(self) -> np.ndarray:
+        raise LineageError(f"{self.strategy.label} stores no payload entries")
+
+    # -- accounting -----------------------------------------------------------------
+
+    def disk_bytes(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def n_entries(self) -> int:
+        raise NotImplementedError
+
+
+class _FullBackwardOne(OpLineageStore):
+    """``<-FullOne``: hash key = output cell, value = inlined input cell
+    (one-to-one bulk writes) or a reference into the shared entry blob."""
+
+    def __init__(self, node, strategy, out_shape, in_shapes):
+        super().__init__(node, strategy, out_shape, in_shapes)
+        self._direct = [HashStore(f"{node}.direct{i}") for i in range(self.arity)]
+        self._refs = HashStore(f"{node}.refs")
+        self._blobs = BlobStore(f"{node}.blobs")
+
+    def _hash_stores(self):
+        return [*self._direct, self._refs]
+
+    def _components(self):
+        out = {f"direct{i}": s for i, s in enumerate(self._direct)}
+        out["refs"] = self._refs
+        out["blobs"] = self._blobs
+        return out
+
+    def _set_component(self, name, obj):
+        if name.startswith("direct"):
+            self._direct[int(name[6:])] = obj
+        elif name == "refs":
+            self._refs = obj
+        else:
+            self._blobs = obj
+
+    def ingest(self, sink: BufferSink) -> None:
+        for batch in sink.elementwise:
+            out_packed = C.pack_coords(batch.outcells, self.out_shape)
+            for i, cells in enumerate(batch.incells):
+                in_packed = C.pack_coords(cells, self.in_shapes[i])
+                self._direct[i].put_many_fixed(out_packed, in_packed)
+        for pair in sink.pairs:
+            if pair.is_payload:
+                continue
+            value = encode_full_value(
+                [
+                    C.pack_coords(cells, self.in_shapes[i])
+                    for i, cells in enumerate(pair.incells)
+                ]
+            )
+            ref = self._blobs.append(value)
+            out_packed = C.pack_coords(pair.outcells, self.out_shape)
+            self._refs.put_many_fixed(out_packed, np.full(out_packed.size, ref))
+
+    def backward_full(self, qpacked):
+        matched = np.zeros(qpacked.size, dtype=bool)
+        per_input: list[list[np.ndarray]] = [[] for _ in range(self.arity)]
+        for i, store in enumerate(self._direct):
+            qidx, cells = store.lookup_refs(qpacked)
+            if qidx.size:
+                matched[qidx] = True
+                per_input[i].append(cells)
+        qidx, refs = self._refs.lookup_refs(qpacked)
+        if qidx.size:
+            matched[qidx] = True
+            for ref in np.unique(refs):
+                for i, cells in enumerate(
+                    decode_full_value(self._blobs.get(int(ref)), self.arity)
+                ):
+                    per_input[i].append(cells)
+        return matched, [_concat(parts) for parts in per_input]
+
+    def scan_forward_full(self, qpacked, input_idx, ticker=None):
+        query = np.sort(qpacked)
+        hits: list[int] = []
+        for out_key, value in self._direct[input_idx].scan():
+            if ticker is not None:
+                ticker()
+            in_cell = int(np.frombuffer(value, dtype="<i8")[0])
+            if _in_sorted(query, in_cell):
+                hits.append(out_key)
+        decoded: dict[int, list[np.ndarray]] = {}
+        for out_key, value in self._refs.scan():
+            if ticker is not None:
+                ticker()
+            ref = int(np.frombuffer(value, dtype="<i8")[0])
+            if ref not in decoded:
+                decoded[ref] = decode_full_value(self._blobs.get(ref), self.arity)
+            cells = decoded[ref][input_idx]
+            if C.isin_sorted(cells, query).any():
+                hits.append(out_key)
+        return np.asarray(sorted(set(hits)), dtype=np.int64)
+
+    def disk_bytes(self) -> int:
+        total = self._refs.disk_bytes() + self._blobs.disk_bytes()
+        return total + sum(s.disk_bytes() for s in self._direct)
+
+    @property
+    def n_entries(self) -> int:
+        return self._refs.n_entries + sum(s.n_entries for s in self._direct)
+
+
+class _FullBackwardMany(OpLineageStore):
+    """``<-FullMany``: one entry per region pair, keyed by the output cell
+    set, R-tree indexed."""
+
+    def __init__(self, node, strategy, out_shape, in_shapes):
+        super().__init__(node, strategy, out_shape, in_shapes)
+        self._table = RegionEntryTable(out_shape)
+
+    def _entry_tables(self):
+        return [self._table]
+
+    def _components(self):
+        return {"table": self._table}
+
+    def _set_component(self, name, obj):
+        self._table = obj
+
+    def ingest(self, sink: BufferSink) -> None:
+        for batch in sink.elementwise:
+            out_packed = C.pack_coords(batch.outcells, self.out_shape)
+            encoded = [
+                encode_singleton_int_arrays(C.pack_coords(cells, self.in_shapes[i]))
+                for i, cells in enumerate(batch.incells)
+            ]
+            rows = np.concatenate(encoded, axis=1)
+            lengths = np.full(out_packed.size, rows.shape[1], dtype=np.int64)
+            self._table.add_singleton_entries(out_packed, rows.tobytes(), lengths)
+        for pair in sink.pairs:
+            if pair.is_payload:
+                continue
+            value = encode_full_value(
+                [
+                    C.pack_coords(cells, self.in_shapes[i])
+                    for i, cells in enumerate(pair.incells)
+                ]
+            )
+            self._table.add_entry(C.pack_coords(pair.outcells, self.out_shape), value)
+
+    def backward_full(self, qpacked):
+        query_sorted = np.sort(qpacked)
+        coords = C.unpack_coords(qpacked, self.out_shape)
+        per_input: list[list[np.ndarray]] = [[] for _ in range(self.arity)]
+        matched_cells: list[np.ndarray] = []
+        for entry_id in self.candidate_entries(coords):
+            keys = self._table.entry_keys(int(entry_id))
+            hit = keys[C.isin_sorted(keys, query_sorted)]
+            if hit.size == 0:
+                continue
+            matched_cells.append(hit)
+            value = decode_full_value(
+                self._table.entry_value(int(entry_id)), self.arity
+            )
+            for i, cells in enumerate(value):
+                per_input[i].append(cells)
+        matched_set = _concat(matched_cells)
+        matched = np.isin(qpacked, matched_set)
+        return matched, [_concat(parts) for parts in per_input]
+
+    def candidate_entries(self, coords: np.ndarray) -> np.ndarray:
+        return self._table.candidate_entries(coords)
+
+    def scan_forward_full(self, qpacked, input_idx, ticker=None):
+        query = np.sort(qpacked)
+        hits: list[np.ndarray] = []
+        for keys, value in self._table.iter_entries():
+            if ticker is not None:
+                ticker()
+            cells = decode_full_value(value, self.arity)[input_idx]
+            if C.isin_sorted(cells, query).any():
+                hits.append(keys)
+        return np.unique(_concat(hits)) if hits else np.empty(0, dtype=np.int64)
+
+    def disk_bytes(self) -> int:
+        return self._table.disk_bytes()
+
+    @property
+    def n_entries(self) -> int:
+        return self._table.n_entries
+
+
+class _FullForwardOne(OpLineageStore):
+    """``->FullOne``: per input array, hash key = input cell."""
+
+    def __init__(self, node, strategy, out_shape, in_shapes):
+        super().__init__(node, strategy, out_shape, in_shapes)
+        self._direct = [HashStore(f"{node}.fdirect{i}") for i in range(self.arity)]
+        self._refs = [HashStore(f"{node}.frefs{i}") for i in range(self.arity)]
+        self._blobs = BlobStore(f"{node}.fblobs")
+
+    def _hash_stores(self):
+        return [*self._direct, *self._refs]
+
+    def _components(self):
+        out = {f"fdirect{i}": s for i, s in enumerate(self._direct)}
+        out.update({f"frefs{i}": s for i, s in enumerate(self._refs)})
+        out["fblobs"] = self._blobs
+        return out
+
+    def _set_component(self, name, obj):
+        if name.startswith("fdirect"):
+            self._direct[int(name[7:])] = obj
+        elif name.startswith("frefs"):
+            self._refs[int(name[5:])] = obj
+        else:
+            self._blobs = obj
+
+    def ingest(self, sink: BufferSink) -> None:
+        for batch in sink.elementwise:
+            out_packed = C.pack_coords(batch.outcells, self.out_shape)
+            for i, cells in enumerate(batch.incells):
+                in_packed = C.pack_coords(cells, self.in_shapes[i])
+                self._direct[i].put_many_fixed(in_packed, out_packed)
+        for pair in sink.pairs:
+            if pair.is_payload:
+                continue
+            out_packed = np.sort(C.pack_coords(pair.outcells, self.out_shape))
+            ref = self._blobs.append(ser.encode_int_array(out_packed))
+            for i, cells in enumerate(pair.incells):
+                in_packed = C.pack_coords(cells, self.in_shapes[i])
+                self._refs[i].put_many_fixed(in_packed, np.full(in_packed.size, ref))
+
+    def forward_full(self, qpacked, input_idx):
+        parts: list[np.ndarray] = []
+        qidx, cells = self._direct[input_idx].lookup_refs(qpacked)
+        if qidx.size:
+            parts.append(cells)
+        qidx, refs = self._refs[input_idx].lookup_refs(qpacked)
+        for ref in np.unique(refs):
+            arr, _ = ser.decode_int_array(self._blobs.get(int(ref)))
+            parts.append(arr)
+        return _concat(parts)
+
+    def scan_backward_full(self, qpacked, ticker=None):
+        query = np.sort(qpacked)
+        matched_cells: list[int] = []
+        per_input: list[list[np.ndarray]] = [[] for _ in range(self.arity)]
+        decoded: dict[int, np.ndarray] = {}
+        for i in range(self.arity):
+            for in_key, value in self._direct[i].scan():
+                if ticker is not None:
+                    ticker()
+                out_cell = int(np.frombuffer(value, dtype="<i8")[0])
+                if _in_sorted(query, out_cell):
+                    matched_cells.append(out_cell)
+                    per_input[i].append(np.asarray([in_key], dtype=np.int64))
+            for in_key, value in self._refs[i].scan():
+                if ticker is not None:
+                    ticker()
+                ref = int(np.frombuffer(value, dtype="<i8")[0])
+                if ref not in decoded:
+                    decoded[ref], _ = ser.decode_int_array(self._blobs.get(ref))
+                outs = decoded[ref]
+                inter = outs[C.isin_sorted(outs, query)]
+                if inter.size:
+                    matched_cells.extend(int(c) for c in inter)
+                    per_input[i].append(np.asarray([in_key], dtype=np.int64))
+        matched_set = np.asarray(sorted(set(matched_cells)), dtype=np.int64)
+        matched = np.isin(qpacked, matched_set)
+        return matched, [_concat(parts) for parts in per_input]
+
+    def disk_bytes(self) -> int:
+        total = self._blobs.disk_bytes()
+        total += sum(s.disk_bytes() for s in self._direct)
+        total += sum(s.disk_bytes() for s in self._refs)
+        return total
+
+    @property
+    def n_entries(self) -> int:
+        return sum(s.n_entries for s in self._direct) + sum(
+            s.n_entries for s in self._refs
+        )
+
+
+class _FullForwardMany(OpLineageStore):
+    """``->FullMany``: per input array, one R-tree-indexed entry per pair."""
+
+    def __init__(self, node, strategy, out_shape, in_shapes):
+        super().__init__(node, strategy, out_shape, in_shapes)
+        self._tables = [RegionEntryTable(shape) for shape in self.in_shapes]
+
+    def _entry_tables(self):
+        return list(self._tables)
+
+    def _components(self):
+        return {f"table{i}": t for i, t in enumerate(self._tables)}
+
+    def _set_component(self, name, obj):
+        self._tables[int(name[5:])] = obj
+
+    def ingest(self, sink: BufferSink) -> None:
+        for batch in sink.elementwise:
+            out_packed = C.pack_coords(batch.outcells, self.out_shape)
+            rows = encode_singleton_int_arrays(out_packed)
+            lengths = np.full(out_packed.size, rows.shape[1], dtype=np.int64)
+            for i, cells in enumerate(batch.incells):
+                in_packed = C.pack_coords(cells, self.in_shapes[i])
+                self._tables[i].add_singleton_entries(
+                    in_packed, rows.tobytes(), lengths
+                )
+        for pair in sink.pairs:
+            if pair.is_payload:
+                continue
+            value = ser.encode_int_array(
+                np.sort(C.pack_coords(pair.outcells, self.out_shape))
+            )
+            for i, cells in enumerate(pair.incells):
+                self._tables[i].add_entry(
+                    C.pack_coords(cells, self.in_shapes[i]), value
+                )
+
+    def forward_full(self, qpacked, input_idx):
+        table = self._tables[input_idx]
+        coords = C.unpack_coords(qpacked, self.in_shapes[input_idx])
+        query_sorted = np.sort(qpacked)
+        parts: list[np.ndarray] = []
+        for entry_id in table.candidate_entries(coords):
+            keys = table.entry_keys(int(entry_id))
+            if C.isin_sorted(keys, query_sorted).any():
+                arr, _ = ser.decode_int_array(table.entry_value(int(entry_id)))
+                parts.append(arr)
+        return _concat(parts)
+
+    def scan_backward_full(self, qpacked, ticker=None):
+        query = np.sort(qpacked)
+        matched_cells: list[np.ndarray] = []
+        per_input: list[list[np.ndarray]] = [[] for _ in range(self.arity)]
+        for i, table in enumerate(self._tables):
+            for keys, value in table.iter_entries():
+                if ticker is not None:
+                    ticker()
+                outs, _ = ser.decode_int_array(value)
+                inter = outs[C.isin_sorted(outs, query)]
+                if inter.size:
+                    matched_cells.append(inter)
+                    per_input[i].append(keys)
+        matched_set = _concat(matched_cells)
+        matched = np.isin(qpacked, matched_set)
+        return matched, [_concat(parts) for parts in per_input]
+
+    def disk_bytes(self) -> int:
+        return sum(t.disk_bytes() for t in self._tables)
+
+    @property
+    def n_entries(self) -> int:
+        return sum(t.n_entries for t in self._tables)
+
+
+class _PayBackwardOne(OpLineageStore):
+    """``<-PayOne``: hash key = output cell, value = duplicated payload.
+
+    Serves both ``Pay`` and ``Comp`` strategies (composite lineage stores
+    its payload overrides the same way, §V-A.4).
+    """
+
+    def __init__(self, node, strategy, out_shape, in_shapes):
+        super().__init__(node, strategy, out_shape, in_shapes)
+        self._hash = HashStore(f"{node}.pay")
+
+    def _hash_stores(self):
+        return [self._hash]
+
+    def _components(self):
+        return {"pay": self._hash}
+
+    def _set_component(self, name, obj):
+        self._hash = obj
+
+    def ingest(self, sink: BufferSink) -> None:
+        for batch in sink.payload_batches:
+            out_packed = C.pack_coords(batch.outcells, self.out_shape)
+            if isinstance(batch.payloads, np.ndarray):
+                width = batch.payloads.shape[1]
+                offsets = np.arange(out_packed.size + 1, dtype=np.int64) * width
+                self._hash.put_many(out_packed, batch.payloads.tobytes(), offsets)
+            else:
+                buf = b"".join(batch.payloads)
+                lengths = np.asarray([len(p) for p in batch.payloads], dtype=np.int64)
+                offsets = np.zeros(out_packed.size + 1, dtype=np.int64)
+                np.cumsum(lengths, out=offsets[1:])
+                self._hash.put_many(out_packed, buf, offsets)
+        for pair in sink.pairs:
+            if not pair.is_payload:
+                continue
+            out_packed = C.pack_coords(pair.outcells, self.out_shape)
+            self._hash.put_many_shared(out_packed, pair.payload)
+
+    def backward_payload(self, qpacked):
+        matched = np.zeros(qpacked.size, dtype=bool)
+        qidx, values = self._hash.lookup_many(qpacked)
+        groups: dict[bytes, list[int]] = {}
+        for pos, payload in zip(qidx, values):
+            matched[pos] = True
+            groups.setdefault(payload, []).append(int(qpacked[pos]))
+        pairs = [
+            (np.asarray(cells, dtype=np.int64), payload)
+            for payload, cells in groups.items()
+        ]
+        return matched, pairs
+
+    def backward_payload_rows(self, qpacked):
+        matched = np.zeros(qpacked.size, dtype=bool)
+        qidx, values = self._hash.lookup_many(qpacked)
+        if qidx.size:
+            matched[qidx] = True
+        return matched, qpacked[qidx], values
+
+    def scan_payload_entries(self):
+        for key, value in self._hash.scan():
+            yield np.asarray([key], dtype=np.int64), value
+
+    def overridden_keys(self) -> np.ndarray:
+        return np.unique(self._hash.keys_array())
+
+    def disk_bytes(self) -> int:
+        return self._hash.disk_bytes()
+
+    @property
+    def n_entries(self) -> int:
+        return self._hash.n_entries
+
+
+class _PayBackwardMany(OpLineageStore):
+    """``<-PayMany``: one entry per payload pair, R-tree indexed."""
+
+    def __init__(self, node, strategy, out_shape, in_shapes):
+        super().__init__(node, strategy, out_shape, in_shapes)
+        self._table = RegionEntryTable(out_shape)
+
+    def _entry_tables(self):
+        return [self._table]
+
+    def _components(self):
+        return {"paytable": self._table}
+
+    def _set_component(self, name, obj):
+        self._table = obj
+
+    def ingest(self, sink: BufferSink) -> None:
+        for batch in sink.payload_batches:
+            out_packed = C.pack_coords(batch.outcells, self.out_shape)
+            if isinstance(batch.payloads, np.ndarray):
+                width = batch.payloads.shape[1]
+                lengths = np.full(out_packed.size, width, dtype=np.int64)
+                self._table.add_singleton_entries(
+                    out_packed, batch.payloads.tobytes(), lengths
+                )
+            else:
+                buf = b"".join(batch.payloads)
+                lengths = np.asarray([len(p) for p in batch.payloads], dtype=np.int64)
+                self._table.add_singleton_entries(out_packed, buf, lengths)
+        for pair in sink.pairs:
+            if not pair.is_payload:
+                continue
+            self._table.add_entry(
+                C.pack_coords(pair.outcells, self.out_shape), pair.payload
+            )
+
+    def backward_payload(self, qpacked):
+        query_sorted = np.sort(qpacked)
+        coords = C.unpack_coords(qpacked, self.out_shape)
+        pairs: list[tuple[np.ndarray, bytes]] = []
+        matched_cells: list[np.ndarray] = []
+        for entry_id in self._table.candidate_entries(coords):
+            keys = self._table.entry_keys(int(entry_id))
+            hit = keys[C.isin_sorted(keys, query_sorted)]
+            if hit.size == 0:
+                continue
+            matched_cells.append(hit)
+            pairs.append((hit, self._table.entry_value(int(entry_id))))
+        matched = np.isin(qpacked, _concat(matched_cells))
+        return matched, pairs
+
+    def scan_payload_entries(self):
+        yield from self._table.iter_entries()
+
+    def overridden_keys(self) -> np.ndarray:
+        return np.unique(self._table.all_key_cells())
+
+    def disk_bytes(self) -> int:
+        return self._table.disk_bytes()
+
+    @property
+    def n_entries(self) -> int:
+        return self._table.n_entries
+
+
+def _concat(parts: list[np.ndarray]) -> np.ndarray:
+    parts = [p for p in parts if p.size]
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(parts)
+
+
+def _in_sorted(sorted_arr: np.ndarray, value: int) -> bool:
+    pos = np.searchsorted(sorted_arr, value)
+    return bool(pos < sorted_arr.size and sorted_arr[pos] == value)
+
+
+def make_store(
+    node: str,
+    strategy: StorageStrategy,
+    out_shape: tuple[int, ...],
+    in_shapes: tuple[tuple[int, ...], ...],
+) -> OpLineageStore:
+    """Factory mapping a storage strategy to its layout implementation."""
+    if not strategy.stores_pairs:
+        raise LineageError(f"{strategy.label} does not materialise lineage")
+    if strategy.mode in (LineageMode.PAY, LineageMode.COMP):
+        cls = (
+            _PayBackwardOne
+            if strategy.encoding is EncodingKind.ONE
+            else _PayBackwardMany
+        )
+        return cls(node, strategy, out_shape, in_shapes)
+    if strategy.orientation is Orientation.BACKWARD:
+        cls = (
+            _FullBackwardOne
+            if strategy.encoding is EncodingKind.ONE
+            else _FullBackwardMany
+        )
+    else:
+        cls = (
+            _FullForwardOne
+            if strategy.encoding is EncodingKind.ONE
+            else _FullForwardMany
+        )
+    return cls(node, strategy, out_shape, in_shapes)

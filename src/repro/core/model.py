@@ -1,0 +1,287 @@
+"""Region lineage data model: region pairs, batches, frontiers, query paths.
+
+Region lineage (§IV-c) represents lineage as *region pairs* — an all-to-all
+relationship between a set of output cells and a set of input cells per
+input array.  Payload pairs replace the input cells with a small opaque blob
+that a payload function (``map_p``) expands back into input cells at query
+time (§V-A.3).
+
+Operators emit pairs through the :class:`LineageSink` API.  Two *batch*
+forms exist so hot loops (e.g. one pair per pixel across a megapixel image)
+can hand the runtime whole coordinate arrays instead of a million Python
+objects; a batch row ``i`` denotes its own independent region pair.
+
+The query executor tracks intermediate results as a :class:`Frontier` — the
+paper's in-memory boolean array with one bit per cell, which deduplicates
+for free and makes "all bits set" checks cheap (§VI-C).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.arrays import coords as C
+from repro.errors import LineageError, QueryError
+
+__all__ = [
+    "RegionPair",
+    "ElementwiseBatch",
+    "PayloadBatch",
+    "LineageSink",
+    "BufferSink",
+    "Frontier",
+    "Direction",
+    "QueryStep",
+    "LineageQuery",
+]
+
+
+@dataclass(frozen=True)
+class RegionPair:
+    """All-to-all lineage between ``outcells`` and per-input ``incells``.
+
+    Exactly one of ``incells`` / ``payload`` is set: full pairs carry the
+    input cells themselves, payload pairs carry the developer's blob.
+    """
+
+    outcells: np.ndarray  # (n_out, ndim_out)
+    incells: tuple[np.ndarray, ...] | None = None
+    payload: bytes | None = None
+
+    def __post_init__(self) -> None:
+        if (self.incells is None) == (self.payload is None):
+            raise LineageError("a region pair carries either input cells or a payload")
+        if self.outcells.ndim != 2 or self.outcells.shape[0] == 0:
+            raise LineageError("a region pair needs at least one output cell")
+
+    @property
+    def is_payload(self) -> bool:
+        return self.payload is not None
+
+    def fanin(self, input_idx: int = 0) -> int:
+        if self.incells is None:
+            raise LineageError("payload pairs have no materialised input cells")
+        return int(self.incells[input_idx].shape[0])
+
+    @property
+    def fanout(self) -> int:
+        return int(self.outcells.shape[0])
+
+
+@dataclass(frozen=True)
+class ElementwiseBatch:
+    """``n`` one-to-one region pairs: row ``i`` of ``outcells`` depends on
+    row ``i`` of each ``incells`` array."""
+
+    outcells: np.ndarray  # (n, ndim_out)
+    incells: tuple[np.ndarray, ...]  # each (n, ndim_in_i)
+
+    def __post_init__(self) -> None:
+        n = self.outcells.shape[0]
+        for arr in self.incells:
+            if arr.shape[0] != n:
+                raise LineageError("elementwise batch arrays must align row-wise")
+
+    @property
+    def count(self) -> int:
+        return int(self.outcells.shape[0])
+
+
+@dataclass(frozen=True)
+class PayloadBatch:
+    """``n`` payload pairs: output cell ``i`` carries ``payloads[i]``.
+
+    ``payloads`` may be a list of byte strings or a ``(n, w)`` uint8 array
+    for fixed-width payloads (the fast path).
+    """
+
+    outcells: np.ndarray  # (n, ndim_out)
+    payloads: list[bytes] | np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.outcells.shape[0]
+        if isinstance(self.payloads, np.ndarray):
+            if self.payloads.ndim != 2 or self.payloads.shape[0] != n:
+                raise LineageError("fixed-width payloads must be a (n, w) uint8 array")
+        elif len(self.payloads) != n:
+            raise LineageError("payload list must align with output cells")
+
+    @property
+    def count(self) -> int:
+        return int(self.outcells.shape[0])
+
+    def payload_at(self, i: int) -> bytes:
+        if isinstance(self.payloads, np.ndarray):
+            return self.payloads[i].tobytes()
+        return self.payloads[i]
+
+
+class LineageSink:
+    """Receiver for an operator's ``lwrite`` calls (see Table I).
+
+    The workflow runtime installs a buffering sink; the re-executor installs
+    a capturing sink.  Subclasses override the three ``add_*`` hooks.
+    """
+
+    def add_pair(self, pair: RegionPair) -> None:
+        raise NotImplementedError
+
+    def add_elementwise(self, batch: ElementwiseBatch) -> None:
+        raise NotImplementedError
+
+    def add_payload_batch(self, batch: PayloadBatch) -> None:
+        raise NotImplementedError
+
+
+@dataclass
+class BufferSink(LineageSink):
+    """In-memory sink used by the runtime and the re-executor."""
+
+    pairs: list[RegionPair] = field(default_factory=list)
+    elementwise: list[ElementwiseBatch] = field(default_factory=list)
+    payload_batches: list[PayloadBatch] = field(default_factory=list)
+
+    def add_pair(self, pair: RegionPair) -> None:
+        self.pairs.append(pair)
+
+    def add_elementwise(self, batch: ElementwiseBatch) -> None:
+        self.elementwise.append(batch)
+
+    def add_payload_batch(self, batch: PayloadBatch) -> None:
+        self.payload_batches.append(batch)
+
+    @property
+    def n_pairs(self) -> int:
+        return (
+            len(self.pairs)
+            + sum(b.count for b in self.elementwise)
+            + sum(b.count for b in self.payload_batches)
+        )
+
+    def clear(self) -> None:
+        self.pairs.clear()
+        self.elementwise.clear()
+        self.payload_batches.clear()
+
+
+class Frontier:
+    """Deduplicating set of cells over one array, backed by a boolean mask."""
+
+    __slots__ = ("shape", "_mask")
+
+    def __init__(self, shape: Sequence[int], mask: np.ndarray | None = None):
+        self.shape = tuple(int(s) for s in shape)
+        if mask is None:
+            self._mask = np.zeros(self.shape, dtype=bool)
+        else:
+            mask = np.asarray(mask, dtype=bool)
+            if mask.shape != self.shape:
+                raise QueryError(f"mask shape {mask.shape} != frontier shape {self.shape}")
+            self._mask = mask
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_coords(cls, coords: np.ndarray, shape: Sequence[int]) -> "Frontier":
+        frontier = cls(shape)
+        frontier.add_coords(coords)
+        return frontier
+
+    @classmethod
+    def full(cls, shape: Sequence[int]) -> "Frontier":
+        return cls(shape, mask=np.ones(tuple(shape), dtype=bool))
+
+    # -- mutation ---------------------------------------------------------------
+
+    def add_coords(self, coords: np.ndarray) -> None:
+        arr = C.validate_coords(coords, self.shape)
+        if arr.shape[0]:
+            self._mask[tuple(arr.T)] = True
+
+    def add_packed(self, packed: np.ndarray) -> None:
+        if packed.size:
+            self._mask.reshape(-1)[packed] = True
+
+    def add_mask(self, mask: np.ndarray) -> None:
+        self._mask |= mask
+
+    def set_all(self) -> None:
+        self._mask[...] = True
+
+    # -- views ------------------------------------------------------------------
+
+    @property
+    def mask(self) -> np.ndarray:
+        return self._mask
+
+    def coords(self) -> np.ndarray:
+        return C.mask_to_coords(self._mask)
+
+    def packed(self) -> np.ndarray:
+        return np.nonzero(self._mask.reshape(-1))[0].astype(np.int64)
+
+    @property
+    def count(self) -> int:
+        return int(self._mask.sum())
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._mask.any()
+
+    @property
+    def is_full(self) -> bool:
+        return bool(self._mask.all())
+
+    def __contains__(self, coord) -> bool:
+        arr = C.validate_coords(np.asarray([coord]), self.shape)
+        return bool(self._mask[tuple(arr[0])])
+
+    def __repr__(self) -> str:
+        return f"Frontier(shape={self.shape}, count={self.count})"
+
+
+class Direction(enum.Enum):
+    """Lineage query direction (§IV)."""
+
+    BACKWARD = "backward"
+    FORWARD = "forward"
+
+
+@dataclass(frozen=True)
+class QueryStep:
+    """One hop of a query path: an operator node and which of its inputs the
+    path passes through (``idx`` in the paper's notation)."""
+
+    node: str
+    input_idx: int = 0
+
+
+@dataclass(frozen=True)
+class LineageQuery:
+    """``execute_query(C, ((P1, idx1), ..., (Pm, idxm)))`` from §IV.
+
+    ``cells`` index the starting array: the output of ``path[0]`` for
+    backward queries, or input ``path[0].input_idx`` of that node for
+    forward queries.
+    """
+
+    cells: np.ndarray
+    path: tuple[QueryStep, ...]
+    direction: Direction
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise QueryError("a lineage query needs a non-empty operator path")
+        object.__setattr__(self, "cells", C.as_coord_array(self.cells))
+        object.__setattr__(
+            self,
+            "path",
+            tuple(
+                step if isinstance(step, QueryStep) else QueryStep(*step)
+                for step in self.path
+            ),
+        )

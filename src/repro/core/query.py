@@ -1,0 +1,459 @@
+"""Lineage query executor (§VI-C) with the query-time optimizer (§VII-A).
+
+A query walks a path of operators, joining the current cell frontier with
+each operator's lineage.  Intermediate results live in a boolean array with
+one bit per cell (deduplication for free); the *entire-array optimization*
+short-circuits steps whose operators are annotated safe; and the query-time
+optimizer chooses, per step, between the materialised strategies and
+re-execution — dynamically switching to re-execution if the materialised
+access exceeds its budget, which bounds the worst case near 2x black-box.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arrays import coords as C
+from repro.core.costmodel import CostModel
+from repro.core.lineage_store import OpLineageStore
+from repro.core.model import Direction, Frontier, LineageQuery, QueryStep
+from repro.core.modes import BLACKBOX, LineageMode, Orientation, StorageStrategy
+from repro.core.reexec import ReExecutor
+from repro.core.runtime import LineageRuntime
+from repro.errors import QueryError
+from repro.ops.base import Operator
+from repro.workflow.instance import WorkflowInstance
+
+__all__ = ["QueryExecutor", "QueryResult", "StepStats"]
+
+
+class _BudgetExceeded(Exception):
+    """Internal: materialised access blew through its time budget."""
+
+
+class _Budget:
+    """Wall-clock budget; ``tick`` is cheap enough to call per entry."""
+
+    __slots__ = ("deadline", "_start", "_counter")
+
+    def __init__(self, seconds: float | None):
+        self.deadline = seconds
+        self._start = time.perf_counter()
+        self._counter = 0
+
+    def tick(self) -> None:
+        if self.deadline is None:
+            return
+        self._counter += 1
+        if self._counter & 0x1FF:  # check every 512 ticks
+            return
+        if time.perf_counter() - self._start > self.deadline:
+            raise _BudgetExceeded
+
+    def check(self) -> None:
+        if self.deadline is not None and time.perf_counter() - self._start > self.deadline:
+            raise _BudgetExceeded
+
+
+@dataclass
+class StepStats:
+    """What happened at one query step (for benchmarks and debugging)."""
+
+    node: str
+    direction: Direction
+    method: str
+    seconds: float
+    cells_in: int
+    cells_out: int
+    switched_to_blackbox: bool = False
+    shortcut: str | None = None
+
+
+@dataclass
+class QueryResult:
+    """Final frontier plus per-step diagnostics."""
+
+    frontier: Frontier
+    steps: list[StepStats] = field(default_factory=list)
+
+    @property
+    def coords(self) -> np.ndarray:
+        return self.frontier.coords()
+
+    @property
+    def count(self) -> int:
+        return self.frontier.count
+
+    @property
+    def seconds(self) -> float:
+        return sum(s.seconds for s in self.steps)
+
+    def explain(self) -> str:
+        """Human-readable per-step execution report (EXPLAIN ANALYZE-style)."""
+        lines = [
+            f"lineage query: {len(self.steps)} steps, "
+            f"{self.count} result cells, {self.seconds * 1e3:.2f} ms total"
+        ]
+        width = max((len(s.node) for s in self.steps), default=4)
+        for i, s in enumerate(self.steps):
+            extras = []
+            if s.shortcut:
+                extras.append(s.shortcut)
+            if s.switched_to_blackbox:
+                extras.append("switched-to-blackbox")
+            note = f"  [{', '.join(extras)}]" if extras else ""
+            lines.append(
+                f"  {i + 1:>2}. {s.node:<{width}}  {s.direction.value:<8} "
+                f"via {s.method:<14} {s.cells_in:>8} -> {s.cells_out:<8} cells  "
+                f"{s.seconds * 1e3:8.2f} ms{note}"
+            )
+        return "\n".join(lines)
+
+
+class QueryExecutor:
+    """Executes backward/forward lineage queries over an executed workflow."""
+
+    def __init__(
+        self,
+        instance: WorkflowInstance,
+        runtime: LineageRuntime,
+        cost_model: CostModel | None = None,
+        enable_entire_array: bool = True,
+        enable_query_opt: bool = True,
+    ):
+        self.instance = instance
+        self.runtime = runtime
+        self.cost_model = cost_model or CostModel(runtime.stats)
+        self.enable_entire_array = enable_entire_array
+        self.enable_query_opt = enable_query_opt
+        self.reexec = ReExecutor(instance, runtime.stats)
+
+    # -- public API ----------------------------------------------------------
+
+    def backward(self, cells, path, **overrides) -> QueryResult:
+        """Trace ``cells`` (in the output of ``path[0]``) back through the path."""
+        query = LineageQuery(
+            cells=np.asarray(cells),
+            path=tuple(_as_step(s) for s in path),
+            direction=Direction.BACKWARD,
+        )
+        return self.execute(query, **overrides)
+
+    def forward(self, cells, path, **overrides) -> QueryResult:
+        """Trace ``cells`` (in input ``idx`` of ``path[0]``) forward through the path."""
+        query = LineageQuery(
+            cells=np.asarray(cells),
+            path=tuple(_as_step(s) for s in path),
+            direction=Direction.FORWARD,
+        )
+        return self.execute(query, **overrides)
+
+    def execute(
+        self,
+        query: LineageQuery,
+        enable_entire_array: bool | None = None,
+        enable_query_opt: bool | None = None,
+    ) -> QueryResult:
+        entire = (
+            self.enable_entire_array
+            if enable_entire_array is None
+            else enable_entire_array
+        )
+        opt = self.enable_query_opt if enable_query_opt is None else enable_query_opt
+        backward = query.direction is Direction.BACKWARD
+        if backward:
+            self.instance.validate_backward_path(query.path)
+            start_shape = self.instance.output_shape(query.path[0].node)
+        else:
+            self.instance.validate_forward_path(query.path)
+            first = query.path[0]
+            start_shape = self.instance.operator(first.node).input_shapes[
+                first.input_idx
+            ]
+        frontier = Frontier.from_coords(query.cells, start_shape)
+        result = QueryResult(frontier=frontier)
+        for step in query.path:
+            frontier, stats = self._execute_step(
+                step, frontier, backward, entire, opt
+            )
+            result.steps.append(stats)
+            result.frontier = frontier
+        return result
+
+    # -- one step ------------------------------------------------------------------
+
+    def _execute_step(
+        self,
+        step: QueryStep,
+        frontier: Frontier,
+        backward: bool,
+        entire: bool,
+        opt: bool,
+    ) -> tuple[Frontier, StepStats]:
+        node, idx = step.node, step.input_idx
+        op = self.instance.operator(node)
+        out_shape = op.output_shape
+        in_shape = op.input_shapes[idx]
+        target_shape = in_shape if backward else out_shape
+        start = time.perf_counter()
+        next_frontier = Frontier(target_shape)
+        direction = Direction.BACKWARD if backward else Direction.FORWARD
+
+        if frontier.is_empty:
+            return next_frontier, StepStats(
+                node, direction, "empty", 0.0, 0, 0, shortcut="empty-frontier"
+            )
+
+        # Entire-array optimization (§VI-C): exact for all-to-all operators,
+        # and manually-annotated safe operators under a full frontier.
+        if entire and op.all_to_all:
+            next_frontier.set_all()
+            seconds = time.perf_counter() - start
+            return next_frontier, StepStats(
+                node, direction, "all-to-all", seconds,
+                frontier.count, next_frontier.count, shortcut="all-to-all",
+            )
+        if entire and frontier.is_full and op.entire_array_ok(backward):
+            next_frontier.set_all()
+            seconds = time.perf_counter() - start
+            return next_frontier, StepStats(
+                node, direction, "entire-array", seconds,
+                frontier.count, next_frontier.count, shortcut="entire-array",
+            )
+
+        qpacked = frontier.packed()
+        strategy = self._choose_strategy(node, op, backward, qpacked.size, opt)
+        budget = None
+        if opt and strategy.stores_pairs:
+            blackbox_estimate = self.cost_model.reexec_seconds(node)
+            budget = _Budget(max(2.0 * blackbox_estimate, 0.05))
+        switched = False
+        try:
+            packed = self._run_strategy(
+                node, op, strategy, qpacked, idx, backward, out_shape, in_shape, budget
+            )
+        except _BudgetExceeded:
+            switched = True
+            packed = self._run_strategy(
+                node, op, BLACKBOX, qpacked, idx, backward, out_shape, in_shape, None
+            )
+        if packed.size:
+            packed = packed[(packed >= 0) & (packed < int(np.prod(target_shape)))]
+            next_frontier.add_packed(np.unique(packed))
+        seconds = time.perf_counter() - start
+        self.cost_model.record_observation(
+            node, strategy if not switched else BLACKBOX, backward, seconds
+        )
+        label = strategy.label if not switched else f"{strategy.label}->Blackbox"
+        return next_frontier, StepStats(
+            node,
+            direction,
+            label,
+            seconds,
+            frontier.count,
+            next_frontier.count,
+            switched_to_blackbox=switched,
+        )
+
+    # -- strategy selection (query-time optimizer, §VII-A) ----------------------------
+
+    def _choose_strategy(
+        self, node: str, op: Operator, backward: bool, n_cells: int, opt: bool
+    ) -> StorageStrategy:
+        assigned = list(self.runtime.strategies_for(node))
+        if not opt:
+            # Static behaviour: blindly use the stored lineage (mapping
+            # first, then whatever was materialised), re-executing only when
+            # nothing was stored — matches Figure 6(b).  Configurations that
+            # store both orientations (FullBoth/PayBoth) use the one whose
+            # index matches the query direction; single-orientation
+            # configurations are used even when mismatched.
+            for strategy in assigned:
+                if strategy.mode is LineageMode.MAP:
+                    return strategy
+            stored = [s for s in assigned if s.stores_pairs]
+            for strategy in stored:
+                if self._orientation_matches(strategy, backward):
+                    return strategy
+            if stored:
+                return stored[0]
+            return BLACKBOX
+        candidates = list(assigned)
+        if BLACKBOX not in candidates:
+            candidates.append(BLACKBOX)
+        best, best_cost = None, float("inf")
+        for strategy in candidates:
+            cost = self.cost_model.query_seconds(node, strategy, backward, n_cells)
+            if cost < best_cost:
+                best, best_cost = strategy, cost
+        return best if best is not None else BLACKBOX
+
+    @staticmethod
+    def _orientation_matches(strategy: StorageStrategy, backward: bool) -> bool:
+        """Payload/composite stores are backward-indexed; full stores carry
+        an explicit orientation."""
+        if strategy.mode in (LineageMode.PAY, LineageMode.COMP):
+            return backward
+        matched = strategy.orientation is Orientation.BACKWARD
+        return matched == backward
+
+    # -- strategy dispatch ------------------------------------------------------------
+
+    def _run_strategy(
+        self,
+        node: str,
+        op: Operator,
+        strategy: StorageStrategy,
+        qpacked: np.ndarray,
+        idx: int,
+        backward: bool,
+        out_shape: tuple[int, ...],
+        in_shape: tuple[int, ...],
+        budget: _Budget | None,
+    ) -> np.ndarray:
+        if strategy.mode is LineageMode.BLACKBOX:
+            if backward:
+                return self.reexec.trace_backward(node, qpacked, idx)
+            return self.reexec.trace_forward(node, qpacked, idx)
+        if strategy.mode is LineageMode.MAP:
+            if backward:
+                coords = C.unpack_coords(qpacked, out_shape)
+                return C.pack_coords(op.map_b_many(coords, idx), in_shape)
+            coords = C.unpack_coords(qpacked, in_shape)
+            return C.pack_coords(op.map_f_many(coords, idx), out_shape)
+        store = self.runtime.store_for(node, strategy)
+        if store is None:
+            raise QueryError(
+                f"strategy {strategy.label} assigned to {node!r} but no store exists; "
+                "was the workflow executed after assigning strategies?"
+            )
+        ticker = budget.tick if budget is not None else None
+        if strategy.mode is LineageMode.FULL:
+            if backward:
+                if strategy.orientation is Orientation.BACKWARD:
+                    _, per_input = store.backward_full(qpacked)
+                else:
+                    _, per_input = store.scan_backward_full(qpacked, ticker=ticker)
+                return per_input[idx]
+            if strategy.orientation is Orientation.FORWARD:
+                return store.forward_full(qpacked, idx)
+            return store.scan_forward_full(qpacked, idx, ticker=ticker)
+        # PAY / COMP
+        if backward:
+            return self._payload_backward(op, store, strategy, qpacked, idx, out_shape, in_shape)
+        return self._payload_forward(op, store, strategy, qpacked, idx, out_shape, in_shape, budget)
+
+    def _payload_backward(
+        self,
+        op: Operator,
+        store: OpLineageStore,
+        strategy: StorageStrategy,
+        qpacked: np.ndarray,
+        idx: int,
+        out_shape: tuple[int, ...],
+        in_shape: tuple[int, ...],
+    ) -> np.ndarray:
+        rows = store.backward_payload_rows(qpacked)
+        if rows is not None:
+            # One-entry-per-cell layout: expand every hit in one vectorised
+            # map_p batch instead of grouping pair objects.
+            matched, hit_packed, payloads = rows
+            parts = []
+            if hit_packed.size:
+                coords = C.unpack_coords(hit_packed, out_shape)
+                cells, _ = op.map_p_batch(coords, payloads, idx)
+                parts.append(C.pack_coords(cells, in_shape))
+            if strategy.mode is LineageMode.COMP:
+                unmatched = qpacked[~matched]
+                if unmatched.size:
+                    coords = C.unpack_coords(unmatched, out_shape)
+                    parts.append(C.pack_coords(op.map_b_many(coords, idx), in_shape))
+            if not parts:
+                return np.empty(0, dtype=np.int64)
+            return np.concatenate(parts)
+        matched, pairs = store.backward_payload(qpacked)
+        parts: list[np.ndarray] = []
+        single_coords: list[np.ndarray] = []
+        single_payloads: list[bytes] = []
+        for cells_packed, payload in pairs:
+            coords = C.unpack_coords(cells_packed, out_shape)
+            if coords.shape[0] == 1:
+                single_coords.append(coords)
+                single_payloads.append(payload)
+            else:
+                cells = op.map_p_many(coords, payload, idx)
+                parts.append(C.pack_coords(cells, in_shape))
+        if single_coords:
+            coords = np.concatenate(single_coords)
+            cells, _ = op.map_p_batch(coords, single_payloads, idx)
+            parts.append(C.pack_coords(cells, in_shape))
+        if strategy.mode is LineageMode.COMP:
+            unmatched = qpacked[~matched]
+            if unmatched.size:
+                coords = C.unpack_coords(unmatched, out_shape)
+                parts.append(C.pack_coords(op.map_b_many(coords, idx), in_shape))
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts)
+
+    def _payload_forward(
+        self,
+        op: Operator,
+        store: OpLineageStore,
+        strategy: StorageStrategy,
+        qpacked: np.ndarray,
+        idx: int,
+        out_shape: tuple[int, ...],
+        in_shape: tuple[int, ...],
+        budget: _Budget | None,
+    ) -> np.ndarray:
+        query = np.sort(qpacked)
+        parts: list[np.ndarray] = []
+        single_coords: list[np.ndarray] = []
+        single_payloads: list[bytes] = []
+        single_packed: list[int] = []
+        for out_packed, payload in store.scan_payload_entries():
+            if budget is not None:
+                budget.tick()
+            coords = C.unpack_coords(out_packed, out_shape)
+            if coords.shape[0] == 1:
+                single_coords.append(coords)
+                single_payloads.append(payload)
+                single_packed.append(int(out_packed[0]))
+            elif op.payload_uniform:
+                cells = op.map_p_many(coords, payload, idx)
+                if C.isin_sorted(C.pack_coords(cells, in_shape), query).any():
+                    parts.append(out_packed)
+            else:
+                for i in range(coords.shape[0]):
+                    cells = op.map_p_many(coords[i: i + 1], payload, idx)
+                    if C.isin_sorted(C.pack_coords(cells, in_shape), query).any():
+                        parts.append(out_packed[i: i + 1])
+        if single_coords:
+            coords = np.concatenate(single_coords)
+            cells, rows = op.map_p_batch(coords, single_payloads, idx)
+            inp = C.pack_coords(cells, in_shape)
+            hit_rows = np.unique(rows[np.isin(inp, query)])
+            if hit_rows.size:
+                parts.append(np.asarray(single_packed, dtype=np.int64)[hit_rows])
+        if strategy.mode is LineageMode.COMP:
+            coords = C.unpack_coords(qpacked, in_shape)
+            default = C.pack_coords(op.map_f_many(coords, idx), out_shape)
+            overridden = store.overridden_keys()
+            if overridden.size:
+                default = default[~np.isin(default, overridden)]
+            parts.append(default)
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts)
+
+
+def _as_step(step) -> QueryStep:
+    if isinstance(step, QueryStep):
+        return step
+    if isinstance(step, str):
+        return QueryStep(step, 0)
+    return QueryStep(*step)

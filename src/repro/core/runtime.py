@@ -1,0 +1,210 @@
+"""The lineage runtime: strategy assignment, sinks, encoding, accounting.
+
+This is the architecture's *Runtime* box (§III): operators send lineage to
+it as they process data; it buffers region pairs, encodes them via the
+strategy-specific stores, and forwards statistics to the collector that
+feeds the optimizer.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.lineage_store import OpLineageStore, make_store
+from repro.core.model import BufferSink
+from repro.core.modes import BLACKBOX, LineageMode, StorageStrategy
+from repro.core.stats import StatsCollector
+from repro.errors import LineageError
+from repro.ops.base import Operator
+
+__all__ = ["LineageRuntime"]
+
+# Modes that require the operator to execute its lineage-recording code.
+_PAIR_MODES = (LineageMode.FULL, LineageMode.PAY, LineageMode.COMP)
+
+
+class LineageRuntime:
+    """Owns every per-(node, strategy) lineage store for one workflow run."""
+
+    def __init__(self, stats: StatsCollector | None = None, profile: bool = False):
+        self.stats = stats if stats is not None else StatsCollector()
+        #: when True, operators are asked to emit every pair form they can,
+        #: the statistics are recorded, and nothing is stored — the paper's
+        #: initial black-box phase that feeds the optimizer.
+        self.profile = profile
+        self._strategies: dict[str, tuple[StorageStrategy, ...]] = {}
+        self._stores: dict[tuple[str, StorageStrategy], OpLineageStore] = {}
+
+    # -- strategy assignment ---------------------------------------------------
+
+    def set_strategies(self, node: str, strategies) -> None:
+        """Assign the storage strategies for ``node`` (next run applies them)."""
+        if isinstance(strategies, StorageStrategy):
+            strategies = (strategies,)
+        deduped: list[StorageStrategy] = []
+        for strategy in strategies:
+            if strategy not in deduped:
+                deduped.append(strategy)
+        self._strategies[node] = tuple(deduped)
+
+    def apply_plan(self, plan: dict[str, list[StorageStrategy]]) -> None:
+        for node, strategies in plan.items():
+            self.set_strategies(node, strategies)
+
+    def strategies_for(self, node: str) -> tuple[StorageStrategy, ...]:
+        """Assigned strategies; black-box is always implicitly available."""
+        return self._strategies.get(node, (BLACKBOX,))
+
+    def validate_against(self, node: str, op: Operator) -> None:
+        supported = op.supported_modes() | {LineageMode.BLACKBOX}
+        for strategy in self.strategies_for(node):
+            if strategy.mode not in supported:
+                raise LineageError(
+                    f"node {node!r}: operator does not support mode "
+                    f"{strategy.mode} (supported: {sorted(m.value for m in supported)})"
+                )
+
+    # -- run-time hooks used by the workflow executor -----------------------------
+
+    def cur_modes(self, node: str, op: Operator) -> frozenset[LineageMode]:
+        """The ``cur_modes`` argument for this node's ``run()`` call."""
+        if self.profile:
+            modes = op.supported_modes() & set(_PAIR_MODES)
+            return frozenset(modes) if modes else frozenset({LineageMode.BLACKBOX})
+        modes = {
+            s.mode for s in self.strategies_for(node) if s.mode in _PAIR_MODES
+        }
+        return frozenset(modes) if modes else frozenset({LineageMode.BLACKBOX})
+
+    def prepare_node(self, node: str, op: Operator) -> None:
+        """Create the stores for a node once its schemas are bound."""
+        self.validate_against(node, op)
+        for strategy in self.strategies_for(node):
+            if not strategy.stores_pairs:
+                continue
+            key = (node, strategy)
+            self._stores[key] = make_store(
+                node, strategy, op.output_shape, op.input_shapes
+            )
+
+    def ingest(self, node: str, sink: BufferSink) -> float:
+        """Encode everything an operator emitted; returns seconds spent."""
+        self.stats.record_sink(node, sink)
+        if self.profile:
+            return 0.0
+        total = 0.0
+        for strategy in self.strategies_for(node):
+            store = self._stores.get((node, strategy))
+            if store is None:
+                continue
+            start = time.perf_counter()
+            store.ingest(sink)
+            store.finalize_if_possible()
+            elapsed = time.perf_counter() - start
+            store.write_seconds += elapsed
+            total += elapsed
+            self.stats.record_store(
+                node, strategy.label, elapsed, store.disk_bytes()
+            )
+        return total
+
+    # -- query-side accessors ---------------------------------------------------------
+
+    def store_for(self, node: str, strategy: StorageStrategy) -> OpLineageStore | None:
+        return self._stores.get((node, strategy))
+
+    def stores_for_node(self, node: str) -> list[OpLineageStore]:
+        return [
+            store for (n, _), store in self._stores.items() if n == node
+        ]
+
+    # -- accounting ---------------------------------------------------------------------
+
+    def total_disk_bytes(self) -> int:
+        return sum(store.disk_bytes() for store in self._stores.values())
+
+    def disk_bytes_by_node(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for (node, _), store in self._stores.items():
+            out[node] = out.get(node, 0) + store.disk_bytes()
+        return out
+
+    def total_write_seconds(self) -> float:
+        return sum(store.write_seconds for store in self._stores.values())
+
+    def clear_stores(self) -> None:
+        self._stores.clear()
+
+    # -- persistence --------------------------------------------------------------------
+
+    @staticmethod
+    def _store_dirname(node: str, strategy: StorageStrategy) -> str:
+        parts = [node, strategy.mode.value]
+        if strategy.encoding is not None:
+            parts.append(strategy.encoding.value)
+        if strategy.orientation is not None:
+            parts.append(strategy.orientation.value)
+        return "__".join(parts)
+
+    def flush_all(self, directory: str) -> int:
+        """Persist every lineage store under ``directory`` with a manifest;
+        returns total bytes written.  Region lineage stays a cache — this
+        just lets a later session skip rebuilding it."""
+        import json
+        import os
+
+        os.makedirs(directory, exist_ok=True)
+        manifest = []
+        total = 0
+        for (node, strategy), store in self._stores.items():
+            sub = self._store_dirname(node, strategy)
+            total += store.flush_to(os.path.join(directory, sub))
+            manifest.append(
+                {
+                    "node": node,
+                    "mode": strategy.mode.value,
+                    "encoding": strategy.encoding.value if strategy.encoding else None,
+                    "orientation": (
+                        strategy.orientation.value if strategy.orientation else None
+                    ),
+                    "out_shape": list(store.out_shape),
+                    "in_shapes": [list(s) for s in store.in_shapes],
+                    "dir": sub,
+                }
+            )
+        with open(os.path.join(directory, "manifest.json"), "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+        return total
+
+    def load_all(self, directory: str) -> int:
+        """Recreate every store recorded in ``directory``'s manifest."""
+        import json
+        import os
+
+        from repro.core.lineage_store import make_store
+        from repro.core.modes import EncodingKind, Orientation
+
+        with open(os.path.join(directory, "manifest.json"), encoding="utf-8") as fh:
+            manifest = json.load(fh)
+        loaded = 0
+        for entry in manifest:
+            strategy = StorageStrategy(
+                mode=LineageMode(entry["mode"]),
+                encoding=EncodingKind(entry["encoding"]) if entry["encoding"] else None,
+                orientation=(
+                    Orientation(entry["orientation"]) if entry["orientation"] else None
+                ),
+            )
+            store = make_store(
+                entry["node"],
+                strategy,
+                tuple(entry["out_shape"]),
+                tuple(tuple(s) for s in entry["in_shapes"]),
+            )
+            store.load_from(os.path.join(directory, entry["dir"]))
+            self._stores[(entry["node"], strategy)] = store
+            existing = self._strategies.get(entry["node"], ())
+            if strategy not in existing:
+                self._strategies[entry["node"]] = existing + (strategy,)
+            loaded += 1
+        return loaded

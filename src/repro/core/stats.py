@@ -1,0 +1,175 @@
+"""Runtime statistics collector (the architecture's Statistics Collector).
+
+The optimizer's cost model is driven by measurements the runtime gathers as
+operators execute and as queries run (§III: the runtime "sends lineage and
+other statistics to the Optimizer"; the query executor "sends statistics
+(e.g., query fanout and fanin) to the optimizer to refine future
+optimizations").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.model import BufferSink
+
+__all__ = ["OperatorStats", "StatsCollector"]
+
+
+@dataclass
+class OperatorStats:
+    """Everything the cost model knows about one workflow node."""
+
+    node: str
+    compute_seconds: float = 0.0
+    n_pairs: int = 0
+    n_outcells: int = 0
+    n_incells: int = 0
+    payload_bytes: int = 0
+    n_payload_pairs: int = 0
+    n_payload_outcells: int = 0
+    output_size: int = 0
+    input_sizes: tuple[int, ...] = ()
+    # measured per strategy label
+    write_seconds: dict[str, float] = field(default_factory=dict)
+    disk_bytes: dict[str, int] = field(default_factory=dict)
+    # observed at query time
+    reexec_seconds: float | None = None
+    observed_query_seconds: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def fanout_avg(self) -> float:
+        """Mean output cells per region pair."""
+        return self.n_outcells / self.n_pairs if self.n_pairs else 0.0
+
+    @property
+    def fanin_avg(self) -> float:
+        """Mean input cells per region pair (payload pairs excluded)."""
+        full = self.n_pairs - self.n_payload_pairs
+        return self.n_incells / full if full else 0.0
+
+    @property
+    def payload_bytes_avg(self) -> float:
+        return self.payload_bytes / self.n_payload_pairs if self.n_payload_pairs else 0.0
+
+
+class StatsCollector:
+    """Accumulates :class:`OperatorStats` across runs and queries."""
+
+    def __init__(self):
+        self._stats: dict[str, OperatorStats] = {}
+
+    def get(self, node: str) -> OperatorStats:
+        if node not in self._stats:
+            self._stats[node] = OperatorStats(node=node)
+        return self._stats[node]
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._stats
+
+    def nodes(self) -> list[str]:
+        return sorted(self._stats)
+
+    # -- runtime-side hooks ---------------------------------------------------
+
+    def record_run(
+        self,
+        node: str,
+        compute_seconds: float,
+        output_size: int,
+        input_sizes: tuple[int, ...],
+    ) -> None:
+        stats = self.get(node)
+        stats.compute_seconds = compute_seconds
+        stats.output_size = output_size
+        stats.input_sizes = input_sizes
+
+    def record_sink(self, node: str, sink: BufferSink) -> None:
+        """Derive pair/fan statistics from what an operator emitted."""
+        stats = self.get(node)
+        n_pairs = n_out = n_in = pay_bytes = n_pay = n_pay_out = 0
+        for pair in sink.pairs:
+            n_pairs += 1
+            n_out += pair.fanout
+            if pair.is_payload:
+                n_pay += 1
+                n_pay_out += pair.fanout
+                pay_bytes += len(pair.payload)
+            else:
+                n_in += sum(int(cells.shape[0]) for cells in pair.incells)
+        for batch in sink.elementwise:
+            n_pairs += batch.count
+            n_out += batch.count
+            n_in += batch.count * len(batch.incells)
+        for pbatch in sink.payload_batches:
+            n_pairs += pbatch.count
+            n_pay += pbatch.count
+            n_out += pbatch.count
+            n_pay_out += pbatch.count
+            if hasattr(pbatch.payloads, "nbytes"):
+                pay_bytes += int(pbatch.payloads.nbytes)
+            else:
+                pay_bytes += sum(len(p) for p in pbatch.payloads)
+        stats.n_pairs = n_pairs
+        stats.n_outcells = n_out
+        stats.n_incells = n_in
+        stats.payload_bytes = pay_bytes
+        stats.n_payload_pairs = n_pay
+        stats.n_payload_outcells = n_pay_out
+
+    def record_store(
+        self, node: str, strategy_label: str, write_seconds: float, disk_bytes: int
+    ) -> None:
+        stats = self.get(node)
+        stats.write_seconds[strategy_label] = (
+            stats.write_seconds.get(strategy_label, 0.0) + write_seconds
+        )
+        stats.disk_bytes[strategy_label] = disk_bytes
+
+    # -- query-side hooks ----------------------------------------------------------
+
+    def record_reexec(self, node: str, seconds: float) -> None:
+        stats = self.get(node)
+        if stats.reexec_seconds is None:
+            stats.reexec_seconds = seconds
+        else:  # exponential moving average keeps estimates fresh
+            stats.reexec_seconds = 0.5 * stats.reexec_seconds + 0.5 * seconds
+
+    def record_query(self, node: str, strategy_label: str, seconds: float) -> None:
+        stats = self.get(node)
+        prev = stats.observed_query_seconds.get(strategy_label)
+        if prev is None:
+            stats.observed_query_seconds[strategy_label] = seconds
+        else:
+            stats.observed_query_seconds[strategy_label] = 0.5 * prev + 0.5 * seconds
+
+    # -- persistence ------------------------------------------------------------
+    #
+    # Profiling a big workflow is expensive; persisting the collector lets a
+    # later session optimize without re-profiling.
+
+    def save(self, path: str) -> None:
+        import dataclasses
+        import json
+        import os
+
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        payload = {
+            node: dataclasses.asdict(stats) for node, stats in self._stats.items()
+        }
+        for entry in payload.values():
+            entry["input_sizes"] = list(entry["input_sizes"])
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+
+    @classmethod
+    def load(cls, path: str) -> "StatsCollector":
+        import json
+
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        collector = cls()
+        for node, entry in payload.items():
+            entry["input_sizes"] = tuple(entry["input_sizes"])
+            collector._stats[node] = OperatorStats(**entry)
+        return collector

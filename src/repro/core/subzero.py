@@ -1,0 +1,213 @@
+"""The SubZero facade: one object tying the whole system together.
+
+Typical use::
+
+    sz = SubZero(spec)
+    sz.set_strategy("crd", COMP_ONE_B)        # or sz.optimize(...)
+    instance = sz.run({"image": img})
+    result = sz.backward_query(star_cells, ["detect", "merge", "crd"])
+
+Re-running after changing strategies rebuilds the lineage stores (region
+lineage is a cache; the versioned arrays are the ground truth).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.arrays.array import SciArray
+from repro.arrays.versions import VersionStore
+from repro.core.costmodel import CostConstants, CostModel
+from repro.core.model import LineageQuery
+from repro.core.modes import MAP, LineageMode, StorageStrategy
+from repro.core.optimizer import (
+    OptimizationResult,
+    StrategyOptimizer,
+    WorkloadProfile,
+)
+from repro.core.query import QueryExecutor, QueryResult
+from repro.core.runtime import LineageRuntime
+from repro.core.stats import StatsCollector
+from repro.errors import QueryError, WorkflowError
+from repro.storage.wal import WriteAheadLog
+from repro.workflow.executor import execute_workflow
+from repro.workflow.instance import WorkflowInstance
+from repro.workflow.spec import WorkflowSpec
+
+__all__ = ["SubZero"]
+
+
+class SubZero:
+    """Lineage-tracking workflow engine (the system of the paper)."""
+
+    def __init__(
+        self,
+        spec: WorkflowSpec,
+        constants: CostConstants | None = None,
+        enable_entire_array: bool = True,
+        enable_query_opt: bool = True,
+    ):
+        self.spec = spec
+        self.stats = StatsCollector()
+        self.cost_model = CostModel(self.stats, constants)
+        self.enable_entire_array = enable_entire_array
+        self.enable_query_opt = enable_query_opt
+        self._strategy_map: dict[str, tuple[StorageStrategy, ...]] = {}
+        self.runtime: LineageRuntime | None = None
+        self.instance: WorkflowInstance | None = None
+        self.executor: QueryExecutor | None = None
+        self.wal = WriteAheadLog()
+
+    # -- strategy management ---------------------------------------------------
+
+    def set_strategy(self, node: str, *strategies: StorageStrategy) -> None:
+        """Assign lineage strategies to one node (takes effect on next run)."""
+        if not self.spec.has_node(node):
+            raise WorkflowError(f"unknown node {node!r}")
+        self._strategy_map[node] = tuple(strategies)
+
+    def apply_plan(self, plan: Mapping[str, list[StorageStrategy]]) -> None:
+        for node, strategies in plan.items():
+            self.set_strategy(node, *strategies)
+
+    def use_mapping_where_possible(self) -> None:
+        """Assign ``Map`` to every operator that declares mapping functions
+        (the BlackBoxOpt baseline of Table II keeps everything else black-box)."""
+        for name, node in self.spec.nodes.items():
+            if LineageMode.MAP in node.operator.supported_modes():
+                existing = self._strategy_map.get(name, ())
+                if MAP not in existing:
+                    self._strategy_map[name] = existing + (MAP,)
+
+    def strategies(self) -> dict[str, tuple[StorageStrategy, ...]]:
+        return dict(self._strategy_map)
+
+    # -- execution -----------------------------------------------------------------
+
+    def run(
+        self, inputs: Mapping[str, SciArray], version_store: VersionStore | None = None
+    ) -> WorkflowInstance:
+        """Execute the workflow, materialising lineage per the current plan."""
+        self.runtime = LineageRuntime(stats=self.stats)
+        for node, strategies in self._strategy_map.items():
+            self.runtime.set_strategies(node, strategies)
+        self.instance = execute_workflow(
+            self.spec,
+            inputs,
+            runtime=self.runtime,
+            version_store=version_store,
+            wal=self.wal,
+        )
+        self.executor = QueryExecutor(
+            self.instance,
+            self.runtime,
+            cost_model=self.cost_model,
+            enable_entire_array=self.enable_entire_array,
+            enable_query_opt=self.enable_query_opt,
+        )
+        return self.instance
+
+    def profile(self, inputs: Mapping[str, SciArray]) -> WorkflowInstance:
+        """Run once in profiling mode: operators emit every pair form they
+        support, statistics are collected, nothing is stored (the initial
+        black-box phase that seeds the optimizer)."""
+        self.runtime = LineageRuntime(stats=self.stats, profile=True)
+        self.instance = execute_workflow(
+            self.spec, inputs, runtime=self.runtime, wal=self.wal
+        )
+        self.executor = QueryExecutor(
+            self.instance,
+            self.runtime,
+            cost_model=self.cost_model,
+            enable_entire_array=self.enable_entire_array,
+            enable_query_opt=self.enable_query_opt,
+        )
+        return self.instance
+
+    # -- queries ------------------------------------------------------------------------
+
+    def _require_executor(self) -> QueryExecutor:
+        if self.executor is None:
+            raise QueryError("execute the workflow before running lineage queries")
+        return self.executor
+
+    def backward_query(self, cells, path, **overrides) -> QueryResult:
+        return self._require_executor().backward(cells, path, **overrides)
+
+    def forward_query(self, cells, path, **overrides) -> QueryResult:
+        return self._require_executor().forward(cells, path, **overrides)
+
+    def execute_query(self, query: LineageQuery, **overrides) -> QueryResult:
+        return self._require_executor().execute(query, **overrides)
+
+    def trace_back(self, cells, from_node: str, to: str, **overrides) -> QueryResult:
+        """Backward query with the path inferred (shortest dataflow route
+        from ``from_node``'s output back to node or source ``to``)."""
+        path = self.spec.lineage_path(from_node, to)
+        return self.backward_query(cells, path, **overrides)
+
+    def trace_forward(self, cells, from_name: str, to_node: str, **overrides) -> QueryResult:
+        """Forward query with the path inferred (``from_name`` may be a
+        source or a node; the trace ends at ``to_node``'s output)."""
+        path = list(reversed(self.spec.lineage_path(to_node, from_name)))
+        return self.forward_query(cells, path, **overrides)
+
+    # -- optimization ----------------------------------------------------------------------
+
+    def optimize(
+        self,
+        workload: list[LineageQuery] | WorkloadProfile,
+        max_disk_bytes: float,
+        max_runtime_seconds: float | None = None,
+        beta: float = 1.0,
+        pinned: Mapping[str, list[StorageStrategy]] | None = None,
+        apply: bool = True,
+    ) -> OptimizationResult:
+        """Pick the optimal strategy mix for a sample workload and budget.
+
+        Requires statistics — run :meth:`profile` (or :meth:`run`) first.
+        """
+        if isinstance(workload, WorkloadProfile):
+            profile = workload
+        else:
+            profile = WorkloadProfile.from_queries(list(workload))
+        operators = {
+            name: node.operator for name, node in self.spec.nodes.items()
+        }
+        for name in operators:
+            self.cost_model.require_profiled(name)
+        optimizer = StrategyOptimizer(self.cost_model)
+        result = optimizer.optimize(
+            operators,
+            profile,
+            max_disk_bytes=max_disk_bytes,
+            max_runtime_seconds=max_runtime_seconds,
+            beta=beta,
+            pinned=dict(pinned) if pinned else None,
+        )
+        if apply:
+            self.apply_plan(result.plan)
+        return result
+
+    # -- accounting -----------------------------------------------------------------------------
+
+    def lineage_disk_bytes(self) -> int:
+        """Bytes held by every materialised lineage store."""
+        return self.runtime.total_disk_bytes() if self.runtime else 0
+
+    def workflow_seconds(self) -> float:
+        """Wall time of the last run, including lineage generation/encoding."""
+        if self.instance is None:
+            return 0.0
+        return (
+            self.instance.total_compute_seconds()
+            + self.instance.total_lineage_seconds()
+        )
+
+    def input_bytes(self) -> int:
+        return self.instance.versions.input_bytes() if self.instance else 0
+
+    def base_storage_bytes(self) -> int:
+        return self.instance.versions.total_bytes() if self.instance else 0

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the SubZero reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`SubZeroError` so
+applications can catch library failures with a single ``except`` clause while
+still being able to discriminate the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class SubZeroError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SchemaError(SubZeroError):
+    """An array schema is malformed or two schemas are incompatible."""
+
+
+class CoordinateError(SubZeroError):
+    """Cell coordinates are malformed or fall outside an array's extent."""
+
+
+class VersionError(SubZeroError):
+    """A version id is unknown or a no-overwrite rule would be violated."""
+
+
+class StorageError(SubZeroError):
+    """The lineage key-value store or blob store failed or was misused."""
+
+
+class WorkflowError(SubZeroError):
+    """A workflow specification is invalid or execution failed."""
+
+
+class OperatorError(SubZeroError):
+    """An operator was misconfigured or misbehaved at run time."""
+
+
+class LineageError(SubZeroError):
+    """Lineage was recorded or requested in an unsupported way."""
+
+
+class QueryError(SubZeroError):
+    """A lineage query path is invalid for the executed workflow."""
+
+
+class OptimizationError(SubZeroError):
+    """The lineage-strategy optimizer could not produce a feasible plan."""

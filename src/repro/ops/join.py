@@ -1,0 +1,95 @@
+"""Join-style built-ins.
+
+SciDB's ``join`` aligns two same-shape arrays cell-by-cell into one array
+whose cells carry both attributes; the paper lists it among the built-in
+mapping operators.  ``CrossProduct`` is the degenerate high-fanout cousin
+used in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arrays import coords as C
+from repro.arrays.array import SciArray
+from repro.arrays.schema import ArraySchema, Attribute
+from repro.core.modes import LineageMode
+from repro.errors import OperatorError
+from repro.ops.base import Operator
+
+__all__ = ["AttributeJoin", "CrossProduct"]
+
+_MAPPING_MODES = frozenset({LineageMode.MAP, LineageMode.BLACKBOX})
+
+
+class AttributeJoin(Operator):
+    """Cell-wise join: output cells hold one attribute from each input."""
+
+    arity = 2
+    entire_array_safe = True
+
+    def infer_schema(self, input_schemas) -> ArraySchema:
+        a, b = input_schemas
+        a.require_same_shape(b, context=self.name)
+        attrs = (
+            Attribute("left", a.default_attr.dtype),
+            Attribute("right", b.default_attr.dtype),
+        )
+        return ArraySchema(dims=a.dims, attrs=attrs, name=self.name)
+
+    def compute(self, inputs: list[SciArray]) -> SciArray:
+        schema = self.output_schema or self.infer_schema(
+            tuple(a.schema for a in inputs)
+        )
+        return SciArray(
+            schema,
+            {"left": inputs[0].values().copy(), "right": inputs[1].values().copy()},
+        )
+
+    def supported_modes(self) -> frozenset[LineageMode]:
+        return _MAPPING_MODES
+
+    def map_b_many(self, out_coords: np.ndarray, input_idx: int) -> np.ndarray:
+        return C.as_coord_array(out_coords, ndim=len(self.output_shape))
+
+    def map_f_many(self, in_coords: np.ndarray, input_idx: int) -> np.ndarray:
+        return C.as_coord_array(in_coords, ndim=len(self.input_shapes[input_idx]))
+
+
+class CrossProduct(Operator):
+    """Outer product of two vectors: ``out[i, j] = a[i] * b[j]``."""
+
+    arity = 2
+    entire_array_safe = True
+
+    def infer_schema(self, input_schemas) -> ArraySchema:
+        a, b = input_schemas
+        if a.ndim != 1 or b.ndim != 1:
+            raise OperatorError(f"{self.name}: expects two 1-D arrays")
+        return a.with_shape((a.shape[0], b.shape[0]))
+
+    def compute(self, inputs: list[SciArray]) -> SciArray:
+        return SciArray.from_numpy(
+            np.outer(inputs[0].values(), inputs[1].values()), name=self.name
+        )
+
+    def supported_modes(self) -> frozenset[LineageMode]:
+        return _MAPPING_MODES
+
+    def map_b_many(self, out_coords: np.ndarray, input_idx: int) -> np.ndarray:
+        out_coords = C.as_coord_array(out_coords, ndim=2)
+        col = 0 if input_idx == 0 else 1
+        return np.unique(out_coords[:, col]).reshape(-1, 1)
+
+    def map_f_many(self, in_coords: np.ndarray, input_idx: int) -> np.ndarray:
+        in_coords = C.as_coord_array(in_coords, ndim=1)
+        if in_coords.shape[0] == 0:
+            return C.empty_coords(2)
+        other = self.input_shapes[1 - input_idx][0]
+        idx = np.unique(in_coords[:, 0])
+        rng = np.arange(other, dtype=np.int64)
+        if input_idx == 0:
+            return np.stack(
+                [np.repeat(idx, other), np.tile(rng, idx.size)], axis=1
+            )
+        return np.stack([np.tile(rng, idx.size), np.repeat(idx, other)], axis=1)

@@ -1,0 +1,351 @@
+"""Log-structured hash store for region lineage.
+
+The paper stores region lineage in per-operator BerkeleyDB hashtables with
+fsync, logging and concurrency control turned off, because lineage is a pure
+cache that can always be rebuilt by re-running operators (§VI-A).  We
+reproduce that contract with two building blocks:
+
+:class:`HashStore`
+    A bulk-loaded multimap from int64 keys (bit-packed cell coordinates) to
+    small byte-string values.  Writes append columnar chunks (a key vector
+    plus a concatenated value buffer with offsets); :meth:`finalize` sorts
+    them into one segment so lookups are vectorised ``searchsorted`` probes.
+    Duplicate keys are kept side by side — the multimap view is exactly the
+    paper's "on a key collision ... merge the two hash values".
+
+:class:`BlobStore`
+    Append-only storage for shared byte blobs (e.g. the single input-cell
+    entry that every ``FullOne`` key references).
+
+Both report their serialized footprint (:meth:`disk_bytes`) and can be
+flushed to real files so benchmarks charge honest storage costs.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.storage import serialize as ser
+
+__all__ = ["HashStore", "BlobStore"]
+
+
+@dataclass
+class _Chunk:
+    keys: np.ndarray  # int64 (n,)
+    offsets: np.ndarray  # int64 (n + 1,) into buf
+    buf: bytes
+
+    @property
+    def nbytes(self) -> int:
+        return self.keys.nbytes + len(self.buf) + self.offsets.nbytes
+
+
+class HashStore:
+    """Bulk-loaded int64 → bytes multimap (see module docstring)."""
+
+    def __init__(self, name: str = "hashstore"):
+        self.name = name
+        self._chunks: list[_Chunk] = []
+        self._segment: _Chunk | None = None
+        self._dirty = False
+
+    # -- writes -------------------------------------------------------------
+
+    def put_many(self, keys: np.ndarray, buf: bytes, offsets: np.ndarray) -> None:
+        """Append ``len(keys)`` entries; value ``i`` is ``buf[offsets[i]:offsets[i+1]]``."""
+        keys = np.ascontiguousarray(keys, dtype=np.int64)
+        offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+        if offsets.shape != (keys.size + 1,):
+            raise StorageError("offsets must have len(keys) + 1 entries")
+        if keys.size == 0:
+            return
+        if offsets[0] != 0 or offsets[-1] != len(buf) or (np.diff(offsets) < 0).any():
+            raise StorageError("offsets must be non-decreasing and span buf")
+        self._chunks.append(_Chunk(keys, offsets, bytes(buf)))
+        self._dirty = True
+
+    def put_many_fixed(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Append entries whose values are int64 scalars (e.g. blob refs)."""
+        values = np.ascontiguousarray(values, dtype=np.int64)
+        keys = np.ascontiguousarray(keys, dtype=np.int64)
+        if values.shape != keys.shape:
+            raise StorageError("keys and values must align")
+        if keys.size == 0:
+            return
+        offsets = np.arange(keys.size + 1, dtype=np.int64) * 8
+        self.put_many(keys, values.astype("<i8").tobytes(), offsets)
+
+    def put_many_shared(self, keys: np.ndarray, value: bytes) -> None:
+        """Append entries that each carry a *copy* of the same value.
+
+        ``PayOne`` duplicates the payload in every hash value (§VI-B); the
+        duplication is physical here so storage accounting stays honest.
+        """
+        keys = np.ascontiguousarray(keys, dtype=np.int64)
+        if keys.size == 0:
+            return
+        offsets = np.arange(keys.size + 1, dtype=np.int64) * len(value)
+        self.put_many(keys, value * keys.size, offsets)
+
+    def put_one(self, key: int, value: bytes) -> None:
+        self.put_many(
+            np.asarray([key], dtype=np.int64),
+            value,
+            np.asarray([0, len(value)], dtype=np.int64),
+        )
+
+    # -- segment maintenance ----------------------------------------------------
+
+    def finalize(self) -> None:
+        """Sort every pending chunk into the single query segment."""
+        if not self._dirty:
+            return
+        chunks = list(self._chunks)
+        if self._segment is not None:
+            chunks.append(self._segment)
+        total = sum(c.keys.size for c in chunks)
+        if total == 0:
+            self._segment = None
+            self._chunks = []
+            self._dirty = False
+            return
+        keys = np.concatenate([c.keys for c in chunks])
+        lengths = np.concatenate([np.diff(c.offsets) for c in chunks])
+        buf = b"".join(c.buf for c in chunks)
+        starts = np.concatenate(
+            [c.offsets[:-1] + base for c, base in zip(chunks, _bases(chunks))]
+        )
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        lengths = lengths[order]
+        starts = starts[order]
+        new_offsets = np.zeros(total + 1, dtype=np.int64)
+        np.cumsum(lengths, out=new_offsets[1:])
+        new_buf = _gather_slices(buf, starts, lengths, int(new_offsets[-1]))
+        self._segment = _Chunk(keys, new_offsets, new_buf)
+        self._chunks = []
+        self._dirty = False
+
+    # -- reads ----------------------------------------------------------------
+
+    def lookup_many(self, query_keys: np.ndarray) -> tuple[np.ndarray, list[bytes]]:
+        """Probe for ``query_keys``; returns ``(query_idx, values)``.
+
+        ``values[i]`` is one stored value whose key equals
+        ``query_keys[query_idx[i]]``.  A key hit by ``k`` stored entries
+        yields ``k`` result rows (the multimap view).
+        """
+        self.finalize()
+        query_keys = np.ascontiguousarray(query_keys, dtype=np.int64)
+        if self._segment is None or query_keys.size == 0:
+            return np.empty(0, dtype=np.int64), []
+        seg = self._segment
+        lo = np.searchsorted(seg.keys, query_keys, side="left")
+        hi = np.searchsorted(seg.keys, query_keys, side="right")
+        counts = hi - lo
+        hits = np.nonzero(counts)[0]
+        if hits.size == 0:
+            return np.empty(0, dtype=np.int64), []
+        qidx = np.repeat(hits, counts[hits])
+        entry_ids = _expand_ranges(lo[hits], counts[hits])
+        values = [
+            bytes(seg.buf[seg.offsets[e]: seg.offsets[e + 1]]) for e in entry_ids
+        ]
+        return qidx, values
+
+    def lookup_refs(self, query_keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Like :meth:`lookup_many` but decodes fixed-width int64 values."""
+        self.finalize()
+        query_keys = np.ascontiguousarray(query_keys, dtype=np.int64)
+        if self._segment is None or query_keys.size == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        seg = self._segment
+        lo = np.searchsorted(seg.keys, query_keys, side="left")
+        hi = np.searchsorted(seg.keys, query_keys, side="right")
+        counts = hi - lo
+        hits = np.nonzero(counts)[0]
+        if hits.size == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        qidx = np.repeat(hits, counts[hits])
+        entry_ids = _expand_ranges(lo[hits], counts[hits])
+        starts = seg.offsets[entry_ids]
+        widths = seg.offsets[entry_ids + 1] - starts
+        if (widths != 8).any():
+            raise StorageError("lookup_refs used on variable-width values")
+        raw = _gather_slices(seg.buf, starts, widths, int(widths.sum()))
+        refs = np.frombuffer(raw, dtype="<i8").astype(np.int64)
+        return qidx, refs
+
+    def scan(self):
+        """Iterate ``(key, value)`` over every entry (mismatched-index path)."""
+        self.finalize()
+        if self._segment is None:
+            return
+        seg = self._segment
+        for i in range(seg.keys.size):
+            yield int(seg.keys[i]), bytes(seg.buf[seg.offsets[i]: seg.offsets[i + 1]])
+
+    def keys_array(self) -> np.ndarray:
+        """All stored keys (sorted, with duplicates)."""
+        self.finalize()
+        if self._segment is None:
+            return np.empty(0, dtype=np.int64)
+        return self._segment.keys
+
+    # -- accounting --------------------------------------------------------------
+
+    @property
+    def n_entries(self) -> int:
+        pending = sum(c.keys.size for c in self._chunks)
+        return pending + (self._segment.keys.size if self._segment is not None else 0)
+
+    def disk_bytes(self) -> int:
+        """Serialized size: 8 bytes per key plus the value payload."""
+        total = 0
+        for chunk in self._chunks + ([self._segment] if self._segment else []):
+            total += chunk.keys.size * 8 + len(chunk.buf)
+        return total
+
+    def flush(self, path: str) -> int:
+        """Write the finalized segment to ``path``; returns bytes written."""
+        self.finalize()
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(path, "wb") as fh:
+            if self._segment is None:
+                fh.write(struct.pack("<q", 0))
+            else:
+                seg = self._segment
+                fh.write(struct.pack("<q", seg.keys.size))
+                fh.write(seg.keys.astype("<i8").tobytes())
+                fh.write(seg.offsets.astype("<i8").tobytes())
+                fh.write(seg.buf)
+        return os.path.getsize(path)
+
+    @classmethod
+    def load(cls, path: str, name: str = "hashstore") -> "HashStore":
+        store = cls(name)
+        with open(path, "rb") as fh:
+            raw = fh.read()
+        (n,) = struct.unpack_from("<q", raw, 0)
+        if n:
+            keys = np.frombuffer(raw, dtype="<i8", count=n, offset=8).astype(np.int64)
+            offsets = np.frombuffer(
+                raw, dtype="<i8", count=n + 1, offset=8 + 8 * n
+            ).astype(np.int64)
+            buf = raw[8 + 8 * n + 8 * (n + 1):]
+            store._segment = _Chunk(keys, offsets, buf)
+        return store
+
+    def clear(self) -> None:
+        self._chunks = []
+        self._segment = None
+        self._dirty = False
+
+
+class BlobStore:
+    """Append-only byte-blob storage with integer ids."""
+
+    def __init__(self, name: str = "blobs"):
+        self.name = name
+        self._blobs: list[bytes] = []
+        self._nbytes = 0
+
+    def append(self, data: bytes) -> int:
+        self._blobs.append(bytes(data))
+        self._nbytes += len(data)
+        return len(self._blobs) - 1
+
+    def append_many(self, blobs: list[bytes]) -> np.ndarray:
+        start = len(self._blobs)
+        for blob in blobs:
+            self._blobs.append(bytes(blob))
+            self._nbytes += len(blob)
+        return np.arange(start, len(self._blobs), dtype=np.int64)
+
+    def get(self, blob_id: int) -> bytes:
+        try:
+            return self._blobs[int(blob_id)]
+        except IndexError:
+            raise StorageError(f"unknown blob id {blob_id}") from None
+
+    def get_many(self, blob_ids: np.ndarray) -> list[bytes]:
+        return [self.get(b) for b in np.asarray(blob_ids, dtype=np.int64)]
+
+    def __len__(self) -> int:
+        return len(self._blobs)
+
+    def disk_bytes(self) -> int:
+        """Payload plus one offset word per blob."""
+        return self._nbytes + 8 * len(self._blobs)
+
+    def flush(self, path: str) -> int:
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(path, "wb") as fh:
+            fh.write(struct.pack("<q", len(self._blobs)))
+            for blob in self._blobs:
+                fh.write(ser.encode_bytes(blob))
+        return os.path.getsize(path)
+
+    @classmethod
+    def load(cls, path: str, name: str = "blobs") -> "BlobStore":
+        store = cls(name)
+        with open(path, "rb") as fh:
+            raw = fh.read()
+        (count,) = struct.unpack_from("<q", raw, 0)
+        offset = 8
+        for _ in range(count):
+            blob, offset = ser.decode_bytes(raw, offset)
+            store.append(blob)
+        return store
+
+    def clear(self) -> None:
+        self._blobs = []
+        self._nbytes = 0
+
+
+def _bases(chunks: list[_Chunk]) -> list[int]:
+    bases = []
+    total = 0
+    for chunk in chunks:
+        bases.append(total)
+        total += len(chunk.buf)
+    return bases
+
+
+def _expand_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``[s, s+c)`` ranges without a Python loop."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    out = np.ones(total, dtype=np.int64)
+    ends = np.cumsum(counts)
+    out[0] = starts[0]
+    if starts.size > 1:
+        out[ends[:-1]] = starts[1:] - (starts[:-1] + counts[:-1]) + 1
+    return np.cumsum(out)
+
+
+def _gather_slices(buf: bytes, starts: np.ndarray, lengths: np.ndarray, total: int) -> bytes:
+    """Concatenate ``buf[s:s+l]`` slices, vectorised via fancy indexing."""
+    if total == 0:
+        return b""
+    keep = lengths > 0
+    starts = starts[keep]
+    lengths = lengths[keep]
+    src = np.frombuffer(buf, dtype=np.uint8)
+    # Source index of every output byte, expressed as one cumulative sum:
+    # within a slice the step is 1; where slice i begins, the step jumps from
+    # the last byte of slice i-1 to starts[i].
+    step = np.ones(total, dtype=np.int64)
+    step[0] = starts[0]
+    if starts.size > 1:
+        begin_pos = np.cumsum(lengths)[:-1]
+        step[begin_pos] = starts[1:] - (starts[:-1] + lengths[:-1] - 1)
+    idx = np.cumsum(step)
+    return src[idx].tobytes()

@@ -1,0 +1,169 @@
+"""STR-packed R-tree over integer bounding boxes.
+
+The ``FullMany``/``PayMany`` encodings store one hash entry per *region pair*
+and need a spatial index over the key-side cell sets so a query can find the
+entries it intersects (§VI-B: "we also create an R Tree on the cells in the
+hash key").  The paper used libspatialindex; this is a from-scratch
+Sort-Tile-Recursive bulk-loaded R-tree with numpy-vectorised descent.
+
+Boxes are inclusive integer boxes ``[lo, hi]`` of arbitrary dimensionality.
+The tree is immutable once built; callers that accumulate entries rebuild
+lazily (building is O(n log n) and vectorised, so rebuilds are cheap at the
+scales the encoders produce).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import StorageError
+
+__all__ = ["RTree"]
+
+
+@dataclass
+class _Level:
+    lo: np.ndarray  # (n_nodes, ndim)
+    hi: np.ndarray  # (n_nodes, ndim)
+    child_start: np.ndarray  # (n_nodes,) index into next level (or data ids)
+    child_count: np.ndarray  # (n_nodes,)
+
+
+class RTree:
+    """Static R-tree; build once with :meth:`build`, then query boxes."""
+
+    def __init__(
+        self,
+        levels: list[_Level],
+        data_ids: np.ndarray,
+        data_lo: np.ndarray,
+        data_hi: np.ndarray,
+        ndim: int,
+    ):
+        self._levels = levels
+        self._data_ids = data_ids
+        self._data_lo = data_lo
+        self._data_hi = data_hi
+        self.ndim = ndim
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(cls, lo: np.ndarray, hi: np.ndarray, leaf_capacity: int = 16) -> "RTree":
+        """Bulk-load from ``(n, ndim)`` inclusive box corner arrays."""
+        lo = np.atleast_2d(np.asarray(lo, dtype=np.int64))
+        hi = np.atleast_2d(np.asarray(hi, dtype=np.int64))
+        if lo.shape != hi.shape:
+            raise StorageError("lo/hi corner arrays must have the same shape")
+        if (hi < lo).any():
+            raise StorageError("every box must satisfy lo <= hi")
+        n, ndim = lo.shape
+        if n == 0:
+            empty = np.empty((0, ndim), dtype=np.int64)
+            return cls([], np.empty(0, dtype=np.int64), empty, empty, ndim)
+        if leaf_capacity < 2:
+            raise StorageError("leaf_capacity must be at least 2")
+        order = _str_order(lo, hi, leaf_capacity)
+        data_ids = order.astype(np.int64)
+        levels: list[_Level] = []
+        cur_lo, cur_hi = lo[order], hi[order]
+        count = n
+        while True:
+            n_nodes = math.ceil(count / leaf_capacity)
+            starts = np.arange(n_nodes, dtype=np.int64) * leaf_capacity
+            counts = np.minimum(leaf_capacity, count - starts)
+            node_lo = np.empty((n_nodes, ndim), dtype=np.int64)
+            node_hi = np.empty((n_nodes, ndim), dtype=np.int64)
+            for i in range(n_nodes):
+                s, c = starts[i], counts[i]
+                node_lo[i] = cur_lo[s: s + c].min(axis=0)
+                node_hi[i] = cur_hi[s: s + c].max(axis=0)
+            levels.append(_Level(node_lo, node_hi, starts, counts))
+            if n_nodes == 1:
+                break
+            cur_lo, cur_hi = node_lo, node_hi
+            count = n_nodes
+        levels.reverse()  # root first
+        return cls(levels, data_ids, lo[order], hi[order], ndim)
+
+    @classmethod
+    def from_points(cls, points: np.ndarray, leaf_capacity: int = 16) -> "RTree":
+        """Index degenerate boxes (single cells)."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.int64))
+        return cls.build(points, points, leaf_capacity=leaf_capacity)
+
+    # -- queries -------------------------------------------------------------
+
+    def query_box(self, qlo: np.ndarray, qhi: np.ndarray) -> np.ndarray:
+        """Ids of every indexed box intersecting the inclusive box ``[qlo, qhi]``."""
+        if not self._levels:
+            return np.empty(0, dtype=np.int64)
+        qlo = np.asarray(qlo, dtype=np.int64)
+        qhi = np.asarray(qhi, dtype=np.int64)
+        if qlo.shape != (self.ndim,) or qhi.shape != (self.ndim,):
+            raise StorageError(f"query box must be {self.ndim}-dimensional")
+        frontier = np.array([0], dtype=np.int64)
+        for depth, level in enumerate(self._levels):
+            lo, hi = level.lo[frontier], level.hi[frontier]
+            hit = ((lo <= qhi) & (hi >= qlo)).all(axis=1)
+            nodes = frontier[hit]
+            if nodes.size == 0:
+                return np.empty(0, dtype=np.int64)
+            starts = level.child_start[nodes]
+            counts = level.child_count[nodes]
+            frontier = _expand(starts, counts)
+        # frontier indexes the sorted data arrays; filter the data boxes too
+        lo, hi = self._data_lo[frontier], self._data_hi[frontier]
+        hit = ((lo <= qhi) & (hi >= qlo)).all(axis=1)
+        return self._data_ids[frontier[hit]]
+
+    def query_point(self, point: np.ndarray) -> np.ndarray:
+        point = np.asarray(point, dtype=np.int64)
+        return self.query_box(point, point)
+
+    def __len__(self) -> int:
+        return int(self._data_ids.size)
+
+    def nbytes(self) -> int:
+        """In-memory index footprint (counts toward lineage disk cost)."""
+        total = self._data_ids.nbytes
+        for level in self._levels:
+            total += level.lo.nbytes + level.hi.nbytes
+            total += level.child_start.nbytes + level.child_count.nbytes
+        return int(total)
+
+
+def _str_order(lo: np.ndarray, hi: np.ndarray, leaf_capacity: int) -> np.ndarray:
+    """Sort-Tile-Recursive ordering of boxes by their centers."""
+    n, ndim = lo.shape
+    centers = (lo + hi) / 2.0
+    order = np.arange(n)
+    if ndim == 1:
+        return order[np.argsort(centers[:, 0], kind="stable")]
+    # Recursively tile: sort by dim 0, slice into vertical slabs, then order
+    # each slab by the remaining dimensions.
+    n_leaves = math.ceil(n / leaf_capacity)
+    n_slabs = max(1, math.ceil(n_leaves ** (1.0 / ndim)))
+    slab_size = math.ceil(n / n_slabs)
+    by_first = order[np.argsort(centers[:, 0], kind="stable")]
+    pieces = []
+    for s in range(0, n, slab_size):
+        slab = by_first[s: s + slab_size]
+        sub = _str_order(lo[slab][:, 1:], hi[slab][:, 1:], leaf_capacity)
+        pieces.append(slab[sub])
+    return np.concatenate(pieces)
+
+
+def _expand(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    out = np.ones(total, dtype=np.int64)
+    out[0] = starts[0]
+    if starts.size > 1:
+        begin = np.cumsum(counts)[:-1]
+        out[begin] = starts[1:] - (starts[:-1] + counts[:-1] - 1)
+    return np.cumsum(out)

@@ -1,0 +1,113 @@
+"""Write-ahead log of operator invocations (black-box lineage).
+
+Black-box lineage needs no extra structures beyond what the workflow
+executor already persists: which operator ran, on which array versions, with
+which parameters (§V: "SubZero does not require additional resources to
+store black-box lineage").  We still log each invocation durably — the paper
+notes black-box lineage is written ahead of the array data via WAL — so a
+workflow instance can be reconstructed and any operator re-run from any
+point.
+
+Records are JSON objects, one per line; the log is append-only.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import StorageError
+
+__all__ = ["InvocationRecord", "WriteAheadLog"]
+
+
+@dataclass(frozen=True)
+class InvocationRecord:
+    """One operator execution: node name, versions in/out, parameters."""
+
+    node: str
+    op_name: str
+    input_versions: tuple[int, ...]
+    output_version: int
+    params: dict = field(default_factory=dict)
+    lineage_modes: tuple[str, ...] = ()
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "node": self.node,
+                "op": self.op_name,
+                "inputs": list(self.input_versions),
+                "output": self.output_version,
+                "params": self.params,
+                "modes": list(self.lineage_modes),
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "InvocationRecord":
+        try:
+            obj = json.loads(line)
+            return cls(
+                node=obj["node"],
+                op_name=obj["op"],
+                input_versions=tuple(obj["inputs"]),
+                output_version=obj["output"],
+                params=obj.get("params", {}),
+                lineage_modes=tuple(obj.get("modes", ())),
+            )
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise StorageError(f"corrupt WAL record: {exc}") from exc
+
+
+class WriteAheadLog:
+    """Append-only invocation log, in-memory with optional file backing."""
+
+    def __init__(self, path: str | None = None, sync: bool = False):
+        self._records: list[InvocationRecord] = []
+        self._path = path
+        self._sync = sync
+        self._fh: io.TextIOWrapper | None = None
+        if path is not None:
+            os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+            self._fh = open(path, "a", encoding="utf-8")
+
+    def append(self, record: InvocationRecord) -> None:
+        self._records.append(record)
+        if self._fh is not None:
+            self._fh.write(record.to_json() + "\n")
+            self._fh.flush()
+            if self._sync:
+                os.fsync(self._fh.fileno())
+
+    def records(self) -> list[InvocationRecord]:
+        return list(self._records)
+
+    def __iter__(self) -> Iterator[InvocationRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def nbytes(self) -> int:
+        return sum(len(r.to_json()) + 1 for r in self._records)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    @classmethod
+    def replay(cls, path: str) -> "WriteAheadLog":
+        """Rebuild an in-memory log from a file (crash-recovery path)."""
+        log = cls()
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    log._records.append(InvocationRecord.from_json(line))
+        return log

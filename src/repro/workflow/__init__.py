@@ -1,0 +1,15 @@
+"""Workflow substrate: DAG specification, executor, executed instances."""
+
+from repro.workflow.executor import execute_workflow
+from repro.workflow.instance import NodeExecution, WorkflowInstance
+from repro.workflow.recovery import recover_instance
+from repro.workflow.spec import WorkflowNode, WorkflowSpec
+
+__all__ = [
+    "WorkflowSpec",
+    "WorkflowNode",
+    "WorkflowInstance",
+    "NodeExecution",
+    "execute_workflow",
+    "recover_instance",
+]

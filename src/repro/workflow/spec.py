@@ -1,0 +1,185 @@
+"""Workflow specifications: a DAG of operators over named source arrays.
+
+A workflow specification is a directed acyclic graph ``W = (N, E)`` where
+``N`` is a set of operators and an edge ``(O_P, I^i_{P'})`` says the output
+of ``P`` is the ``i``'th input of ``P'`` (§IV).  Sources are externally
+supplied arrays (the telescope images, the patient matrices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import WorkflowError
+from repro.ops.base import Operator
+
+__all__ = ["WorkflowNode", "WorkflowSpec"]
+
+
+@dataclass(frozen=True)
+class WorkflowNode:
+    """One operator in the DAG; ``inputs[i]`` names the node or source that
+    feeds the operator's ``i``'th input."""
+
+    name: str
+    operator: Operator
+    inputs: tuple[str, ...]
+
+
+@dataclass
+class WorkflowSpec:
+    """Mutable builder + validated container for a workflow DAG."""
+
+    name: str = "workflow"
+    sources: list[str] = field(default_factory=list)
+    _nodes: dict[str, WorkflowNode] = field(default_factory=dict)
+
+    # -- construction ------------------------------------------------------
+
+    def add_source(self, name: str) -> str:
+        """Declare an externally supplied input array."""
+        if name in self.sources or name in self._nodes:
+            raise WorkflowError(f"duplicate name {name!r} in workflow {self.name!r}")
+        self.sources.append(name)
+        return name
+
+    def add_node(self, name: str, operator: Operator, inputs: list[str] | str) -> str:
+        """Add an operator fed by the named ``inputs`` (sources or nodes)."""
+        if isinstance(inputs, str):
+            inputs = [inputs]
+        if name in self._nodes or name in self.sources:
+            raise WorkflowError(f"duplicate name {name!r} in workflow {self.name!r}")
+        if len(inputs) != operator.arity:
+            raise WorkflowError(
+                f"node {name!r}: operator {operator.name!r} takes {operator.arity} "
+                f"inputs, got {len(inputs)}"
+            )
+        for dep in inputs:
+            if dep not in self._nodes and dep not in self.sources:
+                raise WorkflowError(f"node {name!r}: unknown input {dep!r}")
+        for node in self._nodes.values():
+            if node.operator is operator:
+                raise WorkflowError(
+                    f"operator instance {operator.name!r} is already bound to node "
+                    f"{node.name!r}; create one instance per node"
+                )
+        operator.name = name
+        self._nodes[name] = WorkflowNode(name, operator, tuple(inputs))
+        return name
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def nodes(self) -> dict[str, WorkflowNode]:
+        return dict(self._nodes)
+
+    def node(self, name: str) -> WorkflowNode:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise WorkflowError(f"unknown node {name!r}") from None
+
+    def has_node(self, name: str) -> bool:
+        return name in self._nodes
+
+    def producer(self, node_name: str, input_idx: int) -> str:
+        """Name of the node/source feeding ``node_name``'s ``input_idx``."""
+        node = self.node(node_name)
+        if not 0 <= input_idx < len(node.inputs):
+            raise WorkflowError(
+                f"node {node_name!r} has no input index {input_idx}"
+            )
+        return node.inputs[input_idx]
+
+    def consumers(self, name: str) -> list[tuple[str, int]]:
+        """Every ``(node, input_idx)`` fed by node or source ``name``."""
+        out = []
+        for node in self._nodes.values():
+            for idx, dep in enumerate(node.inputs):
+                if dep == name:
+                    out.append((node.name, idx))
+        return out
+
+    def sinks(self) -> list[str]:
+        """Nodes whose output feeds no other node (workflow outputs)."""
+        consumed = {dep for node in self._nodes.values() for dep in node.inputs}
+        return [name for name in self._nodes if name not in consumed]
+
+    # -- validation -----------------------------------------------------------------
+
+    def topo_order(self) -> list[str]:
+        """Kahn's algorithm; raises on cycles (defensive — the builder API
+        cannot create one, but specs may be constructed programmatically)."""
+        in_degree = {
+            name: sum(1 for dep in node.inputs if dep in self._nodes)
+            for name, node in self._nodes.items()
+        }
+        ready = sorted(name for name, deg in in_degree.items() if deg == 0)
+        order: list[str] = []
+        while ready:
+            name = ready.pop(0)
+            order.append(name)
+            for consumer, _ in self.consumers(name):
+                in_degree[consumer] -= 1
+                if in_degree[consumer] == 0:
+                    ready.append(consumer)
+        if len(order) != len(self._nodes):
+            raise WorkflowError(f"workflow {self.name!r} contains a cycle")
+        return order
+
+    def validate(self) -> None:
+        if not self._nodes:
+            raise WorkflowError(f"workflow {self.name!r} has no operators")
+        self.topo_order()
+
+    # -- path inference ---------------------------------------------------------
+
+    def lineage_path(self, start: str, end: str) -> list[tuple[str, int]]:
+        """Shortest backward query path from node ``start`` to ``end``.
+
+        Returns ``[(P1, idx1), ...]`` steps such that the output of each
+        ``P_{i+1}`` feeds input ``idx_i`` of ``P_i`` and the last step's
+        input is produced by ``end`` (a node or a source).  The reversed
+        list is a valid forward path from ``end`` to ``start``.
+        """
+        if start not in self._nodes:
+            raise WorkflowError(f"unknown start node {start!r}")
+        if end not in self._nodes and end not in self.sources:
+            raise WorkflowError(f"unknown end {end!r}")
+        if start == end:
+            raise WorkflowError("start and end must differ")
+        # BFS backward over (node) states; remember the step taken.
+        frontier = [start]
+        parent: dict[str, tuple[str, int]] = {}  # node -> (consumer, input_idx)
+        seen = {start}
+        while frontier:
+            next_frontier = []
+            for node in frontier:
+                for idx, dep in enumerate(self._nodes[node].inputs):
+                    if dep == end:
+                        return self._assemble_path(start, node, idx, parent)
+                    if dep in self._nodes and dep not in seen:
+                        seen.add(dep)
+                        parent[dep] = (node, idx)
+                        next_frontier.append(dep)
+            frontier = next_frontier
+        raise WorkflowError(f"no dataflow path from {end!r} to {start!r}")
+
+    def _assemble_path(
+        self,
+        start: str,
+        last_node: str,
+        last_idx: int,
+        parent: dict[str, tuple[str, int]],
+    ) -> list[tuple[str, int]]:
+        path = [(last_node, last_idx)]
+        node = last_node
+        while node != start:
+            consumer, idx = parent[node]
+            path.append((consumer, idx))
+            node = consumer
+        path.reverse()
+        return path
+
+    def __len__(self) -> int:
+        return len(self._nodes)

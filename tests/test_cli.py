@@ -1,0 +1,47 @@
+"""Tests for the ``python -m repro.bench`` experiment runner."""
+
+import pytest
+
+from repro.bench import __main__ as cli
+
+
+class TestArgumentHandling:
+    def test_unknown_figure_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["fig99"])
+
+    def test_requires_a_figure(self):
+        with pytest.raises(SystemExit):
+            cli.main([])
+
+    def test_all_expands_to_every_figure(self, monkeypatch):
+        called = []
+        monkeypatch.setitem(cli.FIGURES, "fig5", lambda full, csv: called.append("fig5"))
+        monkeypatch.setitem(cli.FIGURES, "fig6", lambda full, csv: called.append("fig6"))
+        monkeypatch.setitem(cli.FIGURES, "fig7", lambda full, csv: called.append("fig7"))
+        monkeypatch.setitem(cli.FIGURES, "fig8", lambda full, csv: called.append("fig8"))
+        monkeypatch.setitem(cli.FIGURES, "fig9", lambda full, csv: called.append("fig9"))
+        assert cli.main(["all"]) == 0
+        assert called == ["fig5", "fig6", "fig7", "fig8", "fig9"]
+
+    def test_flags_forwarded(self, monkeypatch, tmp_path):
+        seen = {}
+
+        def fake(full, csv):
+            seen["full"] = full
+            seen["csv"] = csv
+
+        monkeypatch.setitem(cli.FIGURES, "fig5", fake)
+        csv_dir = str(tmp_path / "out")
+        assert cli.main(["fig5", "--full", "--csv", csv_dir]) == 0
+        assert seen == {"full": True, "csv": csv_dir}
+        import os
+
+        assert os.path.isdir(csv_dir)
+
+    def test_duplicate_selection_runs_once_each(self, monkeypatch):
+        called = []
+        monkeypatch.setitem(cli.FIGURES, "fig8", lambda full, csv: called.append("fig8"))
+        monkeypatch.setitem(cli.FIGURES, "fig9", lambda full, csv: called.append("fig9"))
+        assert cli.main(["fig9", "fig8"]) == 0
+        assert called == ["fig9", "fig8"]

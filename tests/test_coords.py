@@ -1,0 +1,176 @@
+"""Unit + property tests for coordinate utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrays import coords as C
+from repro.errors import CoordinateError
+
+
+def shapes(max_ndim=3, max_extent=40):
+    return st.lists(
+        st.integers(min_value=1, max_value=max_extent), min_size=1, max_size=max_ndim
+    ).map(tuple)
+
+
+@st.composite
+def shape_and_coords(draw):
+    shape = draw(shapes())
+    n = draw(st.integers(min_value=0, max_value=60))
+    coords = [
+        tuple(draw(st.integers(0, extent - 1)) for extent in shape) for _ in range(n)
+    ]
+    return shape, np.asarray(coords, dtype=np.int64).reshape(n, len(shape))
+
+
+class TestAsCoordArray:
+    def test_single_tuple(self):
+        arr = C.as_coord_array((3, 4))
+        assert arr.shape == (1, 2)
+        assert arr.dtype == np.int64
+
+    def test_list_of_tuples(self):
+        arr = C.as_coord_array([(1, 2), (3, 4)])
+        assert arr.shape == (2, 2)
+
+    def test_empty_needs_ndim(self):
+        with pytest.raises(CoordinateError):
+            C.as_coord_array([])
+
+    def test_empty_with_ndim(self):
+        assert C.as_coord_array([], ndim=3).shape == (0, 3)
+
+    def test_wrong_ndim_rejected(self):
+        with pytest.raises(CoordinateError):
+            C.as_coord_array([(1, 2)], ndim=3)
+
+    def test_3d_input_rejected(self):
+        with pytest.raises(CoordinateError):
+            C.as_coord_array(np.zeros((2, 2, 2), dtype=np.int64))
+
+
+class TestValidate:
+    def test_out_of_bounds(self):
+        with pytest.raises(CoordinateError):
+            C.validate_coords(np.asarray([[5, 0]]), (5, 5))
+
+    def test_negative(self):
+        with pytest.raises(CoordinateError):
+            C.validate_coords(np.asarray([[-1, 0]]), (5, 5))
+
+    def test_ok(self):
+        arr = C.validate_coords(np.asarray([[4, 4]]), (5, 5))
+        assert arr.shape == (1, 2)
+
+
+class TestPackUnpack:
+    @given(shape_and_coords())
+    @settings(max_examples=120, deadline=None)
+    def test_roundtrip(self, sc):
+        shape, coords = sc
+        packed = C.pack_coords(coords, shape)
+        assert packed.shape == (coords.shape[0],)
+        back = C.unpack_coords(packed, shape)
+        assert (back == coords).all()
+
+    @given(shape_and_coords())
+    @settings(max_examples=60, deadline=None)
+    def test_pack_is_row_major(self, sc):
+        shape, coords = sc
+        if coords.shape[0] == 0:
+            return
+        packed = C.pack_coords(coords, shape)
+        strides = np.cumprod((1,) + shape[::-1][:-1])[::-1]
+        expected = (coords * strides).sum(axis=1)
+        assert (packed == expected).all()
+
+    def test_unpack_rejects_out_of_range(self):
+        with pytest.raises(CoordinateError):
+            C.unpack_coords(np.asarray([100]), (5, 5))
+        with pytest.raises(CoordinateError):
+            C.unpack_coords(np.asarray([-1]), (5, 5))
+
+
+class TestMasks:
+    @given(shape_and_coords())
+    @settings(max_examples=60, deadline=None)
+    def test_mask_roundtrip(self, sc):
+        shape, coords = sc
+        mask = C.coords_to_mask(coords, shape)
+        back = C.mask_to_coords(mask)
+        expected = C.dedupe_coords(coords) if coords.shape[0] else coords
+        assert {tuple(r) for r in back} == {tuple(r) for r in expected}
+
+    def test_mask_shape(self):
+        mask = C.coords_to_mask(np.asarray([[1, 1]]), (3, 4))
+        assert mask.shape == (3, 4)
+        assert mask.sum() == 1
+
+
+class TestDedupe:
+    def test_removes_duplicates(self):
+        arr = np.asarray([[1, 2], [1, 2], [0, 0]])
+        out = C.dedupe_coords(arr)
+        assert out.shape[0] == 2
+
+    @given(shape_and_coords())
+    @settings(max_examples=60, deadline=None)
+    def test_unique_coords_matches_dedupe(self, sc):
+        shape, coords = sc
+        fast = C.unique_coords(coords, shape)
+        slow = C.dedupe_coords(coords)
+        assert {tuple(r) for r in fast} == {tuple(r) for r in slow}
+
+
+class TestBoxes:
+    def test_bounding_box(self):
+        lo, hi = C.bounding_box(np.asarray([[1, 5], [3, 2]]))
+        assert lo.tolist() == [1, 2]
+        assert hi.tolist() == [3, 5]
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(CoordinateError):
+            C.bounding_box(C.empty_coords(2))
+
+    def test_coords_in_box(self):
+        coords = np.asarray([[0, 0], [2, 2], [5, 5]])
+        inside = C.coords_in_box(coords, np.asarray([1, 1]), np.asarray([3, 3]))
+        assert inside.tolist() == [False, True, False]
+
+    def test_box_intersects(self):
+        assert C.box_intersects([0, 0], [2, 2], [2, 2], [4, 4])
+        assert not C.box_intersects([0, 0], [1, 1], [2, 2], [3, 3])
+
+
+class TestClip:
+    def test_clip_drops_outside(self):
+        arr = np.asarray([[0, 0], [-1, 0], [2, 9], [1, 1]])
+        out = C.clip_coords(arr, (3, 3))
+        assert {tuple(r) for r in out} == {(0, 0), (1, 1)}
+
+
+class TestAllCoords:
+    def test_counts_and_order(self):
+        out = C.all_coords((2, 3))
+        assert out.shape == (6, 2)
+        assert out[0].tolist() == [0, 0]
+        assert out[-1].tolist() == [1, 2]
+
+
+class TestIsinSorted:
+    @given(
+        st.lists(st.integers(-100, 100), max_size=50),
+        st.lists(st.integers(-100, 100), max_size=50),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_matches_np_isin(self, values, pool):
+        values = np.asarray(values, dtype=np.int64)
+        sorted_pool = np.sort(np.asarray(pool, dtype=np.int64))
+        expected = np.isin(values, sorted_pool)
+        got = C.isin_sorted(values, sorted_pool)
+        assert (got == expected).all()
+
+    def test_empty_pool(self):
+        assert not C.isin_sorted(np.asarray([1, 2]), np.empty(0, dtype=np.int64)).any()

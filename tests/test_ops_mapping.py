@@ -1,0 +1,338 @@
+"""Mapping-function correctness for every built-in operator.
+
+Two layers: hand-computed cases per operator, and the *duality property* —
+``c in map_b(o)`` iff ``o in map_f(c)`` — checked by brute force over whole
+(small) arrays for every operator in the catalogue.  The duality is exactly
+what makes backward and forward queries consistent with each other.
+"""
+
+import numpy as np
+import pytest
+
+from repro import SciArray, ops
+from repro.arrays import coords as C
+from repro.arrays.schema import ArraySchema
+from repro.core.modes import LineageMode
+
+
+def bind(op, *shapes):
+    op.bind(tuple(ArraySchema.dense(s) for s in shapes))
+    return op
+
+
+def brute_force_duality(op, tolerate_superset=False):
+    """Check map_b/map_f agree cell-by-cell across all inputs."""
+    out_shape = op.output_shape
+    for idx in range(op.arity):
+        in_shape = op.input_shapes[idx]
+        forward: dict[tuple, set] = {}
+        for in_cell in C.all_coords(in_shape):
+            outs = op.map_f_many(in_cell.reshape(1, -1), idx)
+            forward[tuple(in_cell)] = {tuple(o) for o in outs}
+        for out_cell in C.all_coords(out_shape):
+            ins = op.map_b_many(out_cell.reshape(1, -1), idx)
+            for in_cell in ins:
+                assert tuple(out_cell) in forward[tuple(in_cell)], (
+                    f"{op.name}: {tuple(in_cell)} in map_b({tuple(out_cell)}) but "
+                    f"{tuple(out_cell)} not in map_f({tuple(in_cell)})"
+                )
+        # and the reverse inclusion
+        backward: dict[tuple, set] = {}
+        for out_cell in C.all_coords(out_shape):
+            ins = op.map_b_many(out_cell.reshape(1, -1), idx)
+            backward[tuple(out_cell)] = {tuple(i) for i in ins}
+        for in_cell, outs in forward.items():
+            for out_cell in outs:
+                assert in_cell in backward[out_cell], (
+                    f"{op.name}: {tuple(out_cell)} in map_f({tuple(in_cell)}) but "
+                    f"{tuple(in_cell)} not in map_b({tuple(out_cell)})"
+                )
+
+
+DUALITY_CASES = [
+    (lambda: bind(ops.Scale(2.0), (4, 5)), None),
+    (lambda: bind(ops.Threshold(0.5), (3, 3)), None),
+    (lambda: bind(ops.Add(), (3, 4), (3, 4)), None),
+    (lambda: bind(ops.BroadcastSubtract(), (3, 4), (1,)), None),
+    (lambda: bind(ops.Transpose(), (3, 5)), None),
+    (lambda: bind(ops.MatMul(), (3, 4), (4, 2)), None),
+    (lambda: bind(ops.MatrixInverse(), (3, 3)), None),
+    (lambda: bind(ops.Convolve2D(ops.gaussian_kernel(3)), (5, 6)), None),
+    (lambda: bind(ops.SliceOp((1, 1), (3, 4)), (5, 6)), None),
+    (lambda: bind(ops.Concat(axis=0), (2, 3), (4, 3)), None),
+    (lambda: bind(ops.Concat(axis=1, arity=3), (2, 2), (2, 3), (2, 1)), None),
+    (lambda: bind(ops.Subsample((2, 3)), (6, 9)), None),
+    (lambda: bind(ops.Reshape((2, 6)), (3, 4)), None),
+    (lambda: bind(ops.Pad((1, 0), (0, 2)), (3, 3)), None),
+    (lambda: bind(ops.Reduce(axis=0), (4, 3)), None),
+    (lambda: bind(ops.Reduce(axis=1), (4, 3)), None),
+    (lambda: bind(ops.Reduce(axis=0), (5,)), None),
+    (lambda: bind(ops.GlobalMean(), (3, 4)), None),
+    (lambda: bind(ops.Standardize(), (3, 3)), None),
+    (lambda: bind(ops.CumulativeSum(axis=0), (4, 3)), None),
+    (lambda: bind(ops.CumulativeSum(axis=1), (3, 4)), None),
+    (lambda: bind(ops.AttributeJoin(), (3, 3), (3, 3)), None),
+    (lambda: bind(ops.CrossProduct(), (3,), (4,)), None),
+    (lambda: bind(ops.Shift((1, -2)), (5, 6)), None),
+    (lambda: bind(ops.Flip(axis=0), (4, 5)), None),
+    (lambda: bind(ops.Flip(axis=1), (4, 5)), None),
+    (lambda: bind(ops.Rotate90(), (3, 5)), None),
+    (lambda: bind(ops.WindowReduce(3, "median"), (5, 6)), None),
+]
+
+
+@pytest.mark.parametrize(
+    "factory", [case[0] for case in DUALITY_CASES],
+    ids=[case[0]().name for case in DUALITY_CASES],
+)
+def test_map_duality(factory):
+    brute_force_duality(factory())
+
+
+class TestElementwiseCompute:
+    def test_scale(self):
+        op = bind(ops.Scale(3.0), (2, 2))
+        out = op.compute([SciArray.from_numpy(np.ones((2, 2)))])
+        assert (out.values() == 3.0).all()
+
+    def test_threshold_binary_output(self):
+        op = bind(ops.Threshold(0.5), (2, 2))
+        out = op.compute([SciArray.from_numpy(np.asarray([[0.1, 0.9], [0.5, 0.6]]))])
+        assert out.values().tolist() == [[0.0, 1.0], [0.0, 1.0]]
+
+    def test_clip_bounds_validated(self):
+        with pytest.raises(Exception):
+            ops.Clip(2.0, 1.0)
+
+    def test_divide_by_zero_guarded(self):
+        op = bind(ops.Divide(), (1, 2), (1, 2))
+        out = op.compute(
+            [
+                SciArray.from_numpy(np.asarray([[4.0, 6.0]])),
+                SciArray.from_numpy(np.asarray([[2.0, 0.0]])),
+            ]
+        )
+        assert np.isfinite(out.values()).all()
+
+    def test_divide_constant_zero_rejected(self):
+        with pytest.raises(Exception):
+            ops.DivideConstant(0.0)
+
+    def test_binary_shape_mismatch(self):
+        op = ops.Add()
+        with pytest.raises(Exception):
+            op.bind((ArraySchema.dense((2, 2)), ArraySchema.dense((3, 3))))
+
+    def test_broadcast_needs_scalar(self):
+        op = ops.BroadcastSubtract()
+        with pytest.raises(Exception):
+            op.bind((ArraySchema.dense((2, 2)), ArraySchema.dense((2, 2))))
+
+    def test_broadcast_compute(self):
+        op = bind(ops.BroadcastSubtract(), (2, 2), (1,))
+        out = op.compute(
+            [
+                SciArray.from_numpy(np.full((2, 2), 5.0)),
+                SciArray.from_numpy(np.asarray([2.0])),
+            ]
+        )
+        assert (out.values() == 3.0).all()
+
+
+class TestLinalgCompute:
+    def test_transpose(self):
+        op = bind(ops.Transpose(), (2, 3))
+        out = op.compute([SciArray.from_numpy(np.arange(6).reshape(2, 3).astype(float))])
+        assert out.shape == (3, 2)
+        assert out.values()[2, 1] == 5.0
+
+    def test_transpose_requires_2d(self):
+        with pytest.raises(Exception):
+            ops.Transpose().bind((ArraySchema.dense((2, 2, 2)),))
+
+    def test_matmul(self):
+        op = bind(ops.MatMul(), (2, 3), (3, 2))
+        a = np.arange(6).reshape(2, 3).astype(float)
+        b = np.arange(6).reshape(3, 2).astype(float)
+        out = op.compute([SciArray.from_numpy(a), SciArray.from_numpy(b)])
+        assert np.allclose(out.values(), a @ b)
+
+    def test_matmul_inner_dim_checked(self):
+        with pytest.raises(Exception):
+            ops.MatMul().bind((ArraySchema.dense((2, 3)), ArraySchema.dense((2, 3))))
+
+    def test_matmul_map_b_is_row_and_column(self):
+        op = bind(ops.MatMul(), (3, 4), (4, 2))
+        ins_a = op.map_b((1, 0), 0)
+        assert {tuple(c) for c in ins_a} == {(1, k) for k in range(4)}
+        ins_b = op.map_b((1, 0), 1)
+        assert {tuple(c) for c in ins_b} == {(k, 0) for k in range(4)}
+
+    def test_inverse_all_to_all(self):
+        op = bind(ops.MatrixInverse(), (3, 3))
+        assert op.all_to_all
+        ins = op.map_b((0, 0), 0)
+        assert ins.shape[0] == 9
+
+    def test_inverse_requires_square(self):
+        with pytest.raises(Exception):
+            ops.MatrixInverse().bind((ArraySchema.dense((2, 3)),))
+
+
+class TestConvolution:
+    def test_kernel_must_be_odd(self):
+        with pytest.raises(Exception):
+            ops.Convolve2D(np.ones((2, 2)))
+
+    def test_gaussian_kernel_normalised(self):
+        k = ops.gaussian_kernel(5, 1.5)
+        assert k.shape == (5, 5)
+        assert abs(k.sum() - 1.0) < 1e-12
+
+    def test_gaussian_kernel_odd_size_required(self):
+        with pytest.raises(Exception):
+            ops.gaussian_kernel(4)
+
+    def test_map_b_interior(self):
+        op = bind(ops.Convolve2D(ops.gaussian_kernel(3)), (10, 10))
+        ins = op.map_b((5, 5), 0)
+        assert ins.shape[0] == 9
+
+    def test_map_b_corner_clipped(self):
+        op = bind(ops.Convolve2D(ops.gaussian_kernel(3)), (10, 10))
+        ins = op.map_b((0, 0), 0)
+        assert ins.shape[0] == 4
+
+    def test_compute_matches_scipy(self):
+        from scipy import ndimage
+
+        rng = np.random.default_rng(0)
+        img = rng.random((8, 8))
+        kernel = ops.gaussian_kernel(3)
+        op = bind(ops.Convolve2D(kernel), (8, 8))
+        out = op.compute([SciArray.from_numpy(img)])
+        assert np.allclose(out.values(), ndimage.convolve(img, kernel, mode="constant"))
+
+
+class TestReshapeOps:
+    def test_slice_bounds_checked(self):
+        with pytest.raises(Exception):
+            bind(ops.SliceOp((0, 0), (9, 9)), (5, 5))
+
+    def test_slice_compute(self):
+        op = bind(ops.SliceOp((1, 1), (3, 3)), (4, 4))
+        out = op.compute([SciArray.from_numpy(np.arange(16).reshape(4, 4).astype(float))])
+        assert out.shape == (2, 2)
+        assert out.values()[0, 0] == 5.0
+
+    def test_concat_compute_and_offsets(self):
+        op = bind(ops.Concat(axis=0), (2, 3), (1, 3))
+        a = SciArray.from_numpy(np.zeros((2, 3)))
+        b = SciArray.from_numpy(np.ones((1, 3)))
+        out = op.compute([a, b])
+        assert out.shape == (3, 3)
+        assert op.map_b((2, 1), 1).tolist() == [[0, 1]]
+        assert op.map_b((0, 1), 1).shape[0] == 0  # outside input 1
+
+    def test_concat_mismatched_extents(self):
+        with pytest.raises(Exception):
+            bind(ops.Concat(axis=0), (2, 3), (1, 4))
+
+    def test_subsample(self):
+        op = bind(ops.Subsample((2, 2)), (4, 4))
+        out = op.compute([SciArray.from_numpy(np.arange(16).reshape(4, 4).astype(float))])
+        assert out.shape == (2, 2)
+        assert out.values()[1, 1] == 10.0
+
+    def test_reshape_size_checked(self):
+        with pytest.raises(Exception):
+            bind(ops.Reshape((5, 5)), (3, 4))
+
+    def test_pad(self):
+        op = bind(ops.Pad((1, 1), (1, 1)), (2, 2))
+        out = op.compute([SciArray.from_numpy(np.ones((2, 2)))])
+        assert out.shape == (4, 4)
+        assert out.values()[0, 0] == 0.0
+        # border cells have empty backward lineage
+        assert op.map_b((0, 0), 0).shape[0] == 0
+
+
+class TestAggregates:
+    def test_reduce_axis0(self):
+        op = bind(ops.Reduce(axis=0, fn=np.sum), (3, 2))
+        out = op.compute([SciArray.from_numpy(np.ones((3, 2)))])
+        assert out.shape == (2,)
+        assert (out.values() == 3.0).all()
+
+    def test_reduce_1d_to_cell(self):
+        op = bind(ops.Reduce(axis=0, fn=np.sum), (5,))
+        out = op.compute([SciArray.from_numpy(np.ones(5))])
+        assert out.shape == (1,)
+        assert out.values()[0] == 5.0
+
+    def test_global_mean(self):
+        op = bind(ops.GlobalMean(), (2, 2))
+        out = op.compute([SciArray.from_numpy(np.asarray([[1.0, 2.0], [3.0, 4.0]]))])
+        assert out.values()[0] == 2.5
+        assert op.all_to_all
+
+    def test_standardize(self):
+        op = bind(ops.Standardize(), (2, 2))
+        out = op.compute([SciArray.from_numpy(np.asarray([[1.0, 2.0], [3.0, 4.0]]))])
+        assert abs(out.values().mean()) < 1e-12
+
+    def test_standardize_constant_input(self):
+        op = bind(ops.Standardize(), (2, 2))
+        out = op.compute([SciArray.from_numpy(np.ones((2, 2)))])
+        assert np.isfinite(out.values()).all()
+
+    def test_cumsum_map_b(self):
+        op = bind(ops.CumulativeSum(axis=1), (2, 4))
+        ins = op.map_b((0, 2), 0)
+        assert {tuple(c) for c in ins} == {(0, 0), (0, 1), (0, 2)}
+
+    def test_cumsum_compute(self):
+        op = bind(ops.CumulativeSum(axis=0), (3, 1))
+        out = op.compute([SciArray.from_numpy(np.ones((3, 1)))])
+        assert out.values()[:, 0].tolist() == [1.0, 2.0, 3.0]
+
+
+class TestJoinOps:
+    def test_attribute_join_schema(self):
+        op = bind(ops.AttributeJoin(), (2, 2), (2, 2))
+        assert op.output_schema.attr_names == ("left", "right")
+        out = op.compute(
+            [SciArray.from_numpy(np.zeros((2, 2))), SciArray.from_numpy(np.ones((2, 2)))]
+        )
+        assert out.values("right").sum() == 4.0
+
+    def test_cross_product(self):
+        op = bind(ops.CrossProduct(), (2,), (3,))
+        out = op.compute(
+            [SciArray.from_numpy(np.asarray([1.0, 2.0])), SciArray.from_numpy(np.asarray([3.0, 4.0, 5.0]))]
+        )
+        assert out.shape == (2, 3)
+        assert out.values()[1, 2] == 10.0
+
+
+class TestOperatorDefaults:
+    def test_unbound_access_raises(self):
+        op = ops.Scale(1.0)
+        with pytest.raises(Exception):
+            _ = op.output_shape
+
+    def test_supported_modes_default_blackbox(self):
+        class Opaque(ops.Operator):
+            def compute(self, inputs):
+                return inputs[0]
+
+        assert Opaque().supported_modes() == frozenset({LineageMode.BLACKBOX})
+
+    def test_mapping_ops_declare_map(self):
+        assert LineageMode.MAP in ops.Scale(1.0).supported_modes()
+        assert LineageMode.MAP in ops.MatMul().supported_modes()
+
+    def test_scalar_map_wrappers(self):
+        op = bind(ops.Transpose(), (3, 5))
+        assert op.map_b((1, 2)).tolist() == [[2, 1]]
+        assert op.map_f((1, 2)).tolist() == [[2, 1]]

@@ -1,0 +1,146 @@
+"""Persistence round-trips: lineage stores survive a process restart.
+
+Region lineage is a rebuildable cache (§VI-A), but flushing it avoids the
+rebuild: a store flushed to disk and loaded in a fresh runtime must answer
+every query identically.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    FULL_MANY_B,
+    FULL_MANY_F,
+    FULL_ONE_B,
+    FULL_ONE_F,
+    PAY_MANY_B,
+    PAY_ONE_B,
+    SciArray,
+)
+from repro.arrays import coords as C
+from repro.core.lineage_store import RegionEntryTable, make_store
+from repro.core.model import BufferSink, ElementwiseBatch, PayloadBatch, RegionPair
+from repro.core.runtime import LineageRuntime
+from repro.workflow.executor import execute_workflow
+from tests.conftest import build_spot_spec
+
+SHAPE = (8, 10)
+
+
+def cells(*coords):
+    return np.asarray(coords, dtype=np.int64)
+
+
+def populated_sink():
+    sink = BufferSink()
+    sink.add_pair(
+        RegionPair(outcells=cells((0, 0), (0, 1)), incells=(cells((2, 2), (3, 3)),))
+    )
+    sink.add_elementwise(
+        ElementwiseBatch(outcells=cells((5, 5), (6, 6)), incells=(cells((5, 5), (6, 6)),))
+    )
+    return sink
+
+
+def payload_sink():
+    sink = BufferSink()
+    sink.add_pair(RegionPair(outcells=cells((1, 1), (1, 2)), payload=b"PP"))
+    sink.add_payload_batch(
+        PayloadBatch(outcells=cells((4, 4)), payloads=np.asarray([[7]], dtype=np.uint8))
+    )
+    return sink
+
+
+class TestRegionEntryTableRoundtrip:
+    def test_flush_load(self, tmp_path):
+        table = RegionEntryTable(SHAPE)
+        table.add_entry(C.pack_coords(cells((0, 0), (0, 3)), SHAPE), b"v0")
+        table.add_entry(C.pack_coords(cells((5, 5)), SHAPE), b"v1")
+        path = str(tmp_path / "table.bin")
+        written = table.flush(path)
+        assert written > 0
+        loaded = RegionEntryTable.load(path, SHAPE)
+        assert loaded.n_entries == 2
+        assert loaded.entry_value(0) == b"v0"
+        assert (loaded.entry_keys(0) == table.entry_keys(0)).all()
+        # the R-tree was rebuilt
+        assert len(loaded.candidate_entries(cells((5, 5)))) == 1
+
+    def test_empty_roundtrip(self, tmp_path):
+        table = RegionEntryTable(SHAPE)
+        path = str(tmp_path / "empty.bin")
+        table.flush(path)
+        assert RegionEntryTable.load(path, SHAPE).n_entries == 0
+
+
+@pytest.mark.parametrize(
+    "strategy",
+    [FULL_ONE_B, FULL_ONE_F, FULL_MANY_B, FULL_MANY_F],
+    ids=lambda s: s.label,
+)
+def test_full_store_roundtrip(tmp_path, strategy):
+    store = make_store("n", strategy, SHAPE, (SHAPE,))
+    store.ingest(populated_sink())
+    store.flush_to(str(tmp_path))
+
+    clone = make_store("n", strategy, SHAPE, (SHAPE,))
+    clone.load_from(str(tmp_path))
+    q_out = C.pack_coords(cells((0, 0), (5, 5)), SHAPE)
+    q_in = C.pack_coords(cells((2, 2), (6, 6)), SHAPE)
+    if strategy.orientation.value == "backward":
+        a = store.backward_full(q_out)
+        b = clone.backward_full(q_out)
+        assert (a[0] == b[0]).all()
+        assert set(a[1][0].tolist()) == set(b[1][0].tolist())
+    else:
+        assert set(store.forward_full(q_in, 0).tolist()) == set(
+            clone.forward_full(q_in, 0).tolist()
+        )
+
+
+@pytest.mark.parametrize("strategy", [PAY_ONE_B, PAY_MANY_B], ids=lambda s: s.label)
+def test_payload_store_roundtrip(tmp_path, strategy):
+    store = make_store("n", strategy, SHAPE, (SHAPE,))
+    store.ingest(payload_sink())
+    store.flush_to(str(tmp_path))
+    clone = make_store("n", strategy, SHAPE, (SHAPE,))
+    clone.load_from(str(tmp_path))
+    q = C.pack_coords(cells((1, 2), (4, 4)), SHAPE)
+    a_matched, a_pairs = store.backward_payload(q)
+    b_matched, b_pairs = clone.backward_payload(q)
+    assert (a_matched == b_matched).all()
+    assert {p for _, p in a_pairs} == {p for _, p in b_pairs}
+
+
+class TestRuntimeFlushAll:
+    def test_manifest_roundtrip_answers_queries(self, tmp_path, rng):
+        image = SciArray.from_numpy(rng.random((16, 18)))
+        runtime = LineageRuntime()
+        runtime.set_strategies("spot", [FULL_ONE_B, PAY_ONE_B])
+        instance = execute_workflow(build_spot_spec(), {"img": image}, runtime=runtime)
+        out_shape = instance.output_shape("spot")
+        q = C.pack_coords(cells((3, 3), (7, 7)), out_shape)
+        original = runtime.store_for("spot", FULL_ONE_B).backward_full(q)
+
+        written = runtime.flush_all(str(tmp_path))
+        assert written > 0
+        assert (tmp_path / "manifest.json").exists()
+
+        fresh = LineageRuntime()
+        loaded = fresh.load_all(str(tmp_path))
+        assert loaded == 2
+        assert FULL_ONE_B in fresh.strategies_for("spot")
+        restored = fresh.store_for("spot", FULL_ONE_B).backward_full(q)
+        assert (original[0] == restored[0]).all()
+        assert set(original[1][0].tolist()) == set(restored[1][0].tolist())
+
+    def test_flush_bytes_close_to_disk_accounting(self, tmp_path, rng):
+        image = SciArray.from_numpy(rng.random((16, 18)))
+        runtime = LineageRuntime()
+        runtime.set_strategies("spot", FULL_ONE_B)
+        execute_workflow(build_spot_spec(), {"img": image}, runtime=runtime)
+        written = runtime.flush_all(str(tmp_path))
+        accounted = runtime.total_disk_bytes()
+        # file framing adds a little; they must agree within 30%
+        assert written >= accounted * 0.7
+        assert written <= accounted * 1.3 + 4096

@@ -1,0 +1,98 @@
+"""Unit + property tests for the STR-packed R-tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage.rtree import RTree
+
+
+@st.composite
+def box_sets(draw):
+    ndim = draw(st.integers(1, 3))
+    n = draw(st.integers(0, 120))
+    lo = draw(
+        st.lists(
+            st.lists(st.integers(0, 80), min_size=ndim, max_size=ndim),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    lo = np.asarray(lo, dtype=np.int64).reshape(n, ndim)
+    extents = draw(
+        st.lists(
+            st.lists(st.integers(0, 15), min_size=ndim, max_size=ndim),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    hi = lo + np.asarray(extents, dtype=np.int64).reshape(n, ndim)
+    qlo = np.asarray(draw(st.lists(st.integers(0, 90), min_size=ndim, max_size=ndim)))
+    qhi = qlo + np.asarray(draw(st.lists(st.integers(0, 40), min_size=ndim, max_size=ndim)))
+    return lo, hi, qlo, qhi
+
+
+class TestRTreeProperties:
+    @given(box_sets(), st.integers(2, 24))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_brute_force(self, data, leaf_capacity):
+        lo, hi, qlo, qhi = data
+        tree = RTree.build(lo, hi, leaf_capacity=leaf_capacity)
+        got = sorted(tree.query_box(qlo, qhi).tolist())
+        brute = np.nonzero(((lo <= qhi) & (hi >= qlo)).all(axis=1))[0]
+        assert got == brute.tolist()
+
+    @given(box_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_every_box_found_by_its_own_query(self, data):
+        lo, hi, _, _ = data
+        tree = RTree.build(lo, hi)
+        for i in range(min(10, lo.shape[0])):
+            assert i in tree.query_box(lo[i], hi[i]).tolist()
+
+
+class TestRTreeBasics:
+    def test_empty(self):
+        tree = RTree.build(np.empty((0, 2)), np.empty((0, 2)))
+        assert len(tree) == 0
+        assert tree.query_box(np.asarray([0, 0]), np.asarray([9, 9])).size == 0
+
+    def test_single(self):
+        tree = RTree.build(np.asarray([[2, 2]]), np.asarray([[4, 4]]))
+        assert tree.query_point(np.asarray([3, 3])).tolist() == [0]
+        assert tree.query_point(np.asarray([5, 5])).size == 0
+
+    def test_from_points(self):
+        points = np.asarray([[1, 1], [5, 5], [9, 9]])
+        tree = RTree.from_points(points)
+        assert tree.query_point(np.asarray([5, 5])).tolist() == [1]
+
+    def test_invalid_boxes(self):
+        with pytest.raises(StorageError):
+            RTree.build(np.asarray([[2, 2]]), np.asarray([[1, 1]]))
+        with pytest.raises(StorageError):
+            RTree.build(np.asarray([[0, 0]]), np.asarray([[1, 1]]), leaf_capacity=1)
+        with pytest.raises(StorageError):
+            RTree.build(np.asarray([[0, 0]]), np.asarray([[1]]))
+
+    def test_wrong_query_rank(self):
+        tree = RTree.from_points(np.asarray([[1, 1]]))
+        with pytest.raises(StorageError):
+            tree.query_box(np.asarray([0]), np.asarray([2]))
+
+    def test_nbytes_positive(self):
+        tree = RTree.from_points(np.arange(200).reshape(100, 2))
+        assert tree.nbytes() > 0
+
+    def test_large_uniform(self):
+        rng = np.random.default_rng(3)
+        points = rng.integers(0, 1000, size=(5000, 2))
+        tree = RTree.from_points(points)
+        qlo, qhi = np.asarray([100, 100]), np.asarray([200, 200])
+        got = set(tree.query_box(qlo, qhi).tolist())
+        brute = set(
+            np.nonzero(((points >= qlo) & (points <= qhi)).all(axis=1))[0].tolist()
+        )
+        assert got == brute

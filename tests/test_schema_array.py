@@ -1,0 +1,207 @@
+"""Unit tests for schemas, dense arrays, and the version store."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import ArraySchema, Attribute, Dimension, SciArray, VersionStore
+from repro.errors import CoordinateError, SchemaError, VersionError
+
+
+class TestDimension:
+    def test_valid(self):
+        d = Dimension("x", 5)
+        assert d.length == 5
+
+    @pytest.mark.parametrize("length", [0, -1])
+    def test_bad_length(self, length):
+        with pytest.raises(SchemaError):
+            Dimension("x", length)
+
+    @pytest.mark.parametrize("name", ["", "1x", "a b", None])
+    def test_bad_name(self, name):
+        with pytest.raises(SchemaError):
+            Dimension(name, 5)
+
+
+class TestAttribute:
+    def test_dtype_coerced(self):
+        assert Attribute("v", "float32").dtype == np.dtype(np.float32)
+
+    def test_bad_dtype(self):
+        with pytest.raises(SchemaError):
+            Attribute("v", "not_a_dtype")
+
+
+class TestArraySchema:
+    def test_dense_factory(self):
+        schema = ArraySchema.dense((4, 6), np.float32, name="img")
+        assert schema.shape == (4, 6)
+        assert schema.ndim == 2
+        assert schema.size == 24
+        assert schema.default_attr.dtype == np.dtype(np.float32)
+
+    def test_duplicate_dims_rejected(self):
+        with pytest.raises(SchemaError):
+            ArraySchema(
+                dims=(Dimension("x", 2), Dimension("x", 3)),
+                attrs=(Attribute("v"),),
+            )
+
+    def test_needs_dims_and_attrs(self):
+        with pytest.raises(SchemaError):
+            ArraySchema(dims=(), attrs=(Attribute("v"),))
+        with pytest.raises(SchemaError):
+            ArraySchema(dims=(Dimension("x", 2),), attrs=())
+
+    def test_with_shape_same_rank_keeps_names(self):
+        schema = ArraySchema.dense((4, 6), dim_names=["row", "col"])
+        out = schema.with_shape((2, 3))
+        assert out.dim_names == ("row", "col")
+        assert out.shape == (2, 3)
+
+    def test_with_shape_rank_change(self):
+        schema = ArraySchema.dense((4, 6))
+        assert schema.with_shape((24,)).ndim == 1
+
+    def test_nbytes(self):
+        schema = ArraySchema.dense((4, 6), np.float64)
+        assert schema.nbytes() == 24 * 8
+
+    def test_attr_lookup(self):
+        schema = ArraySchema.dense((2,), attr_name="flux")
+        assert schema.attr("flux").name == "flux"
+        with pytest.raises(SchemaError):
+            schema.attr("missing")
+
+    def test_require_same_shape(self):
+        a = ArraySchema.dense((2, 2))
+        b = ArraySchema.dense((2, 3))
+        with pytest.raises(SchemaError):
+            a.require_same_shape(b)
+
+    def test_str(self):
+        assert "img" in str(ArraySchema.dense((2, 2), name="img"))
+
+
+class TestSciArray:
+    def test_from_numpy(self):
+        arr = SciArray.from_numpy(np.ones((3, 4)))
+        assert arr.shape == (3, 4)
+        assert arr.size == 12
+        assert arr.nbytes == 12 * 8
+
+    def test_zeros_and_full(self):
+        schema = ArraySchema.dense((2, 2))
+        assert SciArray.zeros(schema).values().sum() == 0
+        assert SciArray.full(schema, 3.0).values().sum() == 12.0
+
+    def test_buffer_shape_validated(self):
+        schema = ArraySchema.dense((2, 2))
+        with pytest.raises(SchemaError):
+            SciArray(schema, {"value": np.zeros((3, 3))})
+
+    def test_missing_attr_buffer(self):
+        schema = ArraySchema(
+            dims=(Dimension("x", 2),),
+            attrs=(Attribute("a"), Attribute("b")),
+        )
+        with pytest.raises(SchemaError):
+            SciArray(schema, {"a": np.zeros(2)})
+
+    def test_cell_access(self):
+        arr = SciArray.from_numpy(np.arange(6).reshape(2, 3).astype(float))
+        assert arr.cell((1, 2)) == 5.0
+        with pytest.raises(CoordinateError):
+            arr.cell((2, 0))
+
+    def test_cells_at(self):
+        arr = SciArray.from_numpy(np.arange(6).reshape(2, 3).astype(float))
+        got = arr.cells_at(np.asarray([[0, 0], [1, 1]]))
+        assert got.tolist() == [0.0, 4.0]
+
+    def test_coords_where(self):
+        arr = SciArray.from_numpy(np.eye(3))
+        coords = arr.coords_where(lambda v: v > 0)
+        assert {tuple(c) for c in coords} == {(0, 0), (1, 1), (2, 2)}
+
+    def test_coords_where_bad_predicate(self):
+        arr = SciArray.from_numpy(np.eye(3))
+        with pytest.raises(CoordinateError):
+            arr.coords_where(lambda v: np.asarray([True]))
+
+    def test_multi_attribute(self):
+        schema = ArraySchema(
+            dims=(Dimension("x", 2),),
+            attrs=(Attribute("a", np.float64), Attribute("b", np.int32)),
+        )
+        arr = SciArray(schema, {"a": np.ones(2), "b": np.asarray([1, 2])})
+        assert arr.values("b").dtype == np.dtype(np.int32)
+        assert arr.nbytes == 2 * 8 + 2 * 4
+
+    def test_set_values_casts(self):
+        arr = SciArray.from_numpy(np.zeros((2, 2), dtype=np.float32))
+        arr.set_values(np.ones((2, 2), dtype=np.float64))
+        assert arr.values().dtype == np.dtype(np.float32)
+
+    def test_copy_is_deep(self):
+        arr = SciArray.from_numpy(np.zeros((2, 2)))
+        clone = arr.copy()
+        clone.values()[0, 0] = 9
+        assert arr.values()[0, 0] == 0
+
+    def test_allclose(self):
+        a = SciArray.from_numpy(np.ones((2, 2)))
+        b = SciArray.from_numpy(np.ones((2, 2)) + 1e-12)
+        assert a.allclose(b)
+        assert not a.allclose(SciArray.from_numpy(np.zeros((2, 2))))
+
+
+class TestVersionStore:
+    def test_put_get_latest(self):
+        store = VersionStore()
+        a = SciArray.from_numpy(np.zeros((2, 2)))
+        v0 = store.put("img", a)
+        v1 = store.put("img", a)
+        assert store.latest("img").version_id == v1.version_id
+        assert store.get(v0.version_id).sequence == 0
+        assert len(store.history("img")) == 2
+
+    def test_no_overwrite_semantics(self):
+        store = VersionStore()
+        a = SciArray.from_numpy(np.zeros((2, 2)))
+        v0 = store.put("img", a)
+        store.put("img", SciArray.from_numpy(np.ones((2, 2))))
+        # the first version is untouched
+        assert store.get(v0.version_id).array.values().sum() == 0
+
+    def test_parents_validated(self):
+        store = VersionStore()
+        with pytest.raises(VersionError):
+            store.put("x", SciArray.from_numpy(np.zeros(2)), parents=(42,))
+
+    def test_unknown_lookups(self):
+        store = VersionStore()
+        with pytest.raises(VersionError):
+            store.get(0)
+        with pytest.raises(VersionError):
+            store.latest("nope")
+
+    def test_accounting(self):
+        store = VersionStore()
+        raw = SciArray.from_numpy(np.zeros((4, 4)))
+        v = store.put("in", raw)
+        store.put("out", raw, parents=(v.version_id,), producer="op")
+        assert store.input_bytes() == raw.nbytes
+        assert store.total_bytes() == 2 * raw.nbytes
+
+    def test_spill(self, tmp_path):
+        store = VersionStore(spill_dir=str(tmp_path))
+        store.put("img", SciArray.from_numpy(np.zeros((2, 2))))
+        spilled = list(tmp_path.glob("*.npy"))
+        assert len(spilled) == 1
+
+    def test_contains(self):
+        store = VersionStore()
+        v = store.put("img", SciArray.from_numpy(np.zeros(2)))
+        assert v.version_id in store
+        assert 999 not in store

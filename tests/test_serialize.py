@@ -1,0 +1,105 @@
+"""Unit + property tests for the binary serialization layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage import serialize as ser
+
+
+class TestUvarint:
+    @given(st.integers(min_value=0, max_value=2**63 - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip(self, value):
+        buf = ser.encode_uvarint(value)
+        out, pos = ser.decode_uvarint(buf)
+        assert out == value
+        assert pos == len(buf)
+
+    def test_negative_rejected(self):
+        with pytest.raises(StorageError):
+            ser.encode_uvarint(-1)
+
+    def test_truncated(self):
+        buf = ser.encode_uvarint(300)[:-1]
+        with pytest.raises(StorageError):
+            ser.decode_uvarint(buf)
+
+    def test_small_values_one_byte(self):
+        for v in (0, 1, 127):
+            assert len(ser.encode_uvarint(v)) == 1
+
+
+class TestBytes:
+    @given(st.binary(max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip(self, data):
+        buf = ser.encode_bytes(data)
+        out, pos = ser.decode_bytes(buf)
+        assert out == data
+        assert pos == len(buf)
+
+    def test_truncated(self):
+        buf = ser.encode_bytes(b"hello")[:-1]
+        with pytest.raises(StorageError):
+            ser.decode_bytes(buf)
+
+
+class TestIntArray:
+    @given(st.lists(st.integers(min_value=-(2**40), max_value=2**40), max_size=300))
+    @settings(max_examples=150, deadline=None)
+    def test_roundtrip(self, values):
+        arr = np.asarray(values, dtype=np.int64)
+        buf = ser.encode_int_array(arr)
+        out, pos = ser.decode_int_array(buf)
+        assert (out == arr).all()
+        assert pos == len(buf)
+
+    @given(st.lists(st.integers(min_value=-(2**40), max_value=2**40), max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_nbytes_prediction_exact(self, values):
+        arr = np.asarray(values, dtype=np.int64)
+        assert ser.int_array_nbytes(arr) == len(ser.encode_int_array(arr))
+
+    def test_sorted_arrays_compress(self):
+        dense_sorted = np.arange(1000, dtype=np.int64) + 10**9
+        shuffled = dense_sorted.copy()
+        np.random.default_rng(0).shuffle(shuffled)
+        assert len(ser.encode_int_array(dense_sorted)) < len(
+            ser.encode_int_array(shuffled)
+        )
+
+    def test_sorted_deltas_use_single_byte(self):
+        arr = np.arange(100, dtype=np.int64)
+        # header: magic+flags+count(1)+width(1)+base(8) = 12, then 99 deltas
+        assert len(ser.encode_int_array(arr)) == 12 + 99
+
+    def test_decode_offset_chaining(self):
+        a = np.asarray([1, 2, 3], dtype=np.int64)
+        b = np.asarray([9], dtype=np.int64)
+        buf = ser.encode_int_array(a) + ser.encode_int_array(b)
+        out_a, pos = ser.decode_int_array(buf)
+        out_b, end = ser.decode_int_array(buf, pos)
+        assert (out_a == a).all() and (out_b == b).all()
+        assert end == len(buf)
+
+    def test_bad_magic(self):
+        with pytest.raises(StorageError):
+            ser.decode_int_array(b"\x00\x00\x00")
+
+    def test_truncated_payload(self):
+        buf = ser.encode_int_array(np.asarray([1, 5, 9]))
+        with pytest.raises(StorageError):
+            ser.decode_int_array(buf[:-1])
+
+    def test_empty(self):
+        buf = ser.encode_int_array(np.empty(0, dtype=np.int64))
+        out, pos = ser.decode_int_array(buf)
+        assert out.size == 0
+        assert pos == len(buf)
+
+    def test_singleton_is_twelve_bytes(self):
+        # the vectorised singleton encoder in lineage_store relies on this
+        assert len(ser.encode_int_array(np.asarray([12345]))) == 12

@@ -1,0 +1,164 @@
+"""Property tests: every store layout is a faithful index of random sinks.
+
+For arbitrary collections of region pairs, the answer any layout gives must
+equal the brute-force join over the raw pairs — backward, forward, matched
+or mismatched orientation.  This is the encoder/store analogue of the
+strategy-equivalence integration tests, at a much higher fuzzing rate.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrays import coords as C
+from repro.core.lineage_store import make_store
+from repro.core.model import BufferSink, ElementwiseBatch, RegionPair
+from repro.core.modes import (
+    FULL_MANY_B,
+    FULL_MANY_F,
+    FULL_ONE_B,
+    FULL_ONE_F,
+)
+
+SHAPE = (9, 11)
+SIZE = SHAPE[0] * SHAPE[1]
+
+
+@st.composite
+def sinks(draw):
+    """A random mix of general pairs and an elementwise batch."""
+    sink = BufferSink()
+    pairs = []
+    for _ in range(draw(st.integers(0, 6))):
+        n_out = draw(st.integers(1, 4))
+        n_in = draw(st.integers(1, 5))
+        outs = draw(
+            st.lists(st.integers(0, SIZE - 1), min_size=n_out, max_size=n_out)
+        )
+        ins = draw(st.lists(st.integers(0, SIZE - 1), min_size=n_in, max_size=n_in))
+        outs = np.unique(np.asarray(outs, dtype=np.int64))
+        ins = np.unique(np.asarray(ins, dtype=np.int64))
+        pairs.append((outs, ins))
+        sink.add_pair(
+            RegionPair(
+                outcells=C.unpack_coords(outs, SHAPE),
+                incells=(C.unpack_coords(ins, SHAPE),),
+            )
+        )
+    n_elem = draw(st.integers(0, 8))
+    if n_elem:
+        eouts = draw(
+            st.lists(st.integers(0, SIZE - 1), min_size=n_elem, max_size=n_elem)
+        )
+        eins = draw(
+            st.lists(st.integers(0, SIZE - 1), min_size=n_elem, max_size=n_elem)
+        )
+        eouts = np.asarray(eouts, dtype=np.int64)
+        eins = np.asarray(eins, dtype=np.int64)
+        sink.add_elementwise(
+            ElementwiseBatch(
+                outcells=C.unpack_coords(eouts, SHAPE),
+                incells=(C.unpack_coords(eins, SHAPE),),
+            )
+        )
+        for o, i in zip(eouts, eins):
+            pairs.append((np.asarray([o]), np.asarray([i])))
+    query = draw(st.lists(st.integers(0, SIZE - 1), min_size=1, max_size=12))
+    return sink, pairs, np.unique(np.asarray(query, dtype=np.int64))
+
+
+def brute_backward(pairs, query):
+    hit, result = set(), set()
+    qset = set(query.tolist())
+    for outs, ins in pairs:
+        touched = qset & set(outs.tolist())
+        if touched:
+            hit |= touched
+            result |= set(ins.tolist())
+    return hit, result
+
+
+def brute_forward(pairs, query):
+    qset = set(query.tolist())
+    result = set()
+    for outs, ins in pairs:
+        if qset & set(ins.tolist()):
+            result |= set(outs.tolist())
+    return result
+
+
+@pytest.mark.parametrize("strategy", [FULL_ONE_B, FULL_MANY_B], ids=lambda s: s.label)
+class TestBackwardOrientedStores:
+    @given(case=sinks())
+    @settings(max_examples=60, deadline=None)
+    def test_backward_matches_brute_force(self, strategy, case):
+        sink, pairs, query = case
+        store = make_store("n", strategy, SHAPE, (SHAPE,))
+        store.ingest(sink)
+        matched, per_input = store.backward_full(query)
+        want_hit, want = brute_backward(pairs, query)
+        assert set(query[matched].tolist()) == want_hit
+        assert set(per_input[0].tolist()) == want
+
+    @given(case=sinks())
+    @settings(max_examples=40, deadline=None)
+    def test_forward_scan_matches_brute_force(self, strategy, case):
+        sink, pairs, query = case
+        store = make_store("n", strategy, SHAPE, (SHAPE,))
+        store.ingest(sink)
+        outs = store.scan_forward_full(query, 0)
+        assert set(outs.tolist()) == brute_forward(pairs, query)
+
+
+@pytest.mark.parametrize("strategy", [FULL_ONE_F, FULL_MANY_F], ids=lambda s: s.label)
+class TestForwardOrientedStores:
+    @given(case=sinks())
+    @settings(max_examples=60, deadline=None)
+    def test_forward_matches_brute_force(self, strategy, case):
+        sink, pairs, query = case
+        store = make_store("n", strategy, SHAPE, (SHAPE,))
+        store.ingest(sink)
+        outs = store.forward_full(query, 0)
+        assert set(outs.tolist()) == brute_forward(pairs, query)
+
+    @given(case=sinks())
+    @settings(max_examples=40, deadline=None)
+    def test_backward_scan_matches_brute_force(self, strategy, case):
+        sink, pairs, query = case
+        store = make_store("n", strategy, SHAPE, (SHAPE,))
+        store.ingest(sink)
+        matched, per_input = store.scan_backward_full(query)
+        want_hit, want = brute_backward(pairs, query)
+        assert set(query[matched].tolist()) == want_hit
+        assert set(per_input[0].tolist()) == want
+
+
+class TestMultiInputStores:
+    @given(case=sinks(), seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_two_input_backward(self, case, seed):
+        """Pairs over two inputs keep their per-input cell sets separate."""
+        sink, pairs, query = case
+        rng = np.random.default_rng(seed)
+        two = BufferSink()
+        expected = [[], []]
+        for outs, ins in pairs:
+            ins2 = rng.integers(0, SIZE, size=max(1, ins.size // 2))
+            two.add_pair(
+                RegionPair(
+                    outcells=C.unpack_coords(outs, SHAPE),
+                    incells=(
+                        C.unpack_coords(ins, SHAPE),
+                        C.unpack_coords(np.unique(ins2), SHAPE),
+                    ),
+                )
+            )
+            expected[0].append((outs, ins))
+            expected[1].append((outs, np.unique(ins2)))
+        store = make_store("n", FULL_ONE_B, SHAPE, (SHAPE, SHAPE))
+        store.ingest(two)
+        _, per_input = store.backward_full(query)
+        for idx in range(2):
+            _, want = brute_backward(expected[idx], query)
+            assert set(per_input[idx].tolist()) == want

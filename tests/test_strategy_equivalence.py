@@ -1,0 +1,136 @@
+"""The system's core correctness property: every storage strategy answers
+every lineage query identically to black-box re-execution.
+
+This is the cross-module integration test — workflow executor, runtime,
+encoders, stores, query executor, and re-executor all have to agree.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BLACKBOX,
+    COMP_MANY_B,
+    COMP_ONE_B,
+    FULL_MANY_B,
+    FULL_MANY_F,
+    FULL_ONE_B,
+    FULL_ONE_F,
+    MAP,
+    PAY_MANY_B,
+    PAY_ONE_B,
+    SciArray,
+    SubZero,
+)
+from tests.conftest import build_spot_spec
+
+ALL = [
+    BLACKBOX,
+    FULL_ONE_B,
+    FULL_ONE_F,
+    FULL_MANY_B,
+    FULL_MANY_F,
+    PAY_ONE_B,
+    PAY_MANY_B,
+    COMP_ONE_B,
+    COMP_MANY_B,
+]
+
+BACKWARD_PATH = (("scale", 0), ("spot", 0), ("smooth", 0))
+FORWARD_PATH = (("smooth", 0), ("spot", 0), ("scale", 0))
+
+
+def run_with(strategy, image, query_opt=False):
+    spec = build_spot_spec()
+    sz = SubZero(spec, enable_query_opt=query_opt)
+    sz.set_strategy("smooth", MAP)
+    sz.set_strategy("scale", MAP)
+    if strategy is not BLACKBOX:
+        sz.set_strategy("spot", strategy)
+    sz.run({"img": image})
+    return sz
+
+
+def coord_set(result):
+    return {tuple(c) for c in result.coords.tolist()}
+
+
+@pytest.fixture(scope="module")
+def image():
+    rng = np.random.default_rng(77)
+    return SciArray.from_numpy(rng.random((18, 22)))
+
+
+@pytest.fixture(scope="module")
+def reference(image):
+    sz = run_with(BLACKBOX, image)
+    out_cells = [(4, 4), (9, 12), (17, 21), (0, 0)]
+    in_cells = [(5, 5), (10, 11), (0, 1)]
+    return {
+        "out_cells": out_cells,
+        "in_cells": in_cells,
+        "backward": coord_set(sz.backward_query(out_cells, BACKWARD_PATH)),
+        "forward": coord_set(sz.forward_query(in_cells, FORWARD_PATH)),
+    }
+
+
+@pytest.mark.parametrize("strategy", ALL, ids=lambda s: s.label)
+def test_backward_equivalence(strategy, image, reference):
+    sz = run_with(strategy, image)
+    got = coord_set(sz.backward_query(reference["out_cells"], BACKWARD_PATH))
+    assert got == reference["backward"]
+
+
+@pytest.mark.parametrize("strategy", ALL, ids=lambda s: s.label)
+def test_forward_equivalence(strategy, image, reference):
+    sz = run_with(strategy, image)
+    got = coord_set(sz.forward_query(reference["in_cells"], FORWARD_PATH))
+    assert got == reference["forward"]
+
+
+@pytest.mark.parametrize("strategy", ALL, ids=lambda s: s.label)
+def test_equivalence_with_query_time_optimizer(strategy, image, reference):
+    """The optimizer may pick different access paths; answers must not change."""
+    sz = run_with(strategy, image, query_opt=True)
+    back = coord_set(sz.backward_query(reference["out_cells"], BACKWARD_PATH))
+    fwd = coord_set(sz.forward_query(reference["in_cells"], FORWARD_PATH))
+    assert back == reference["backward"]
+    assert fwd == reference["forward"]
+
+
+@pytest.mark.parametrize("strategy", ALL, ids=lambda s: s.label)
+def test_equivalence_without_entire_array_opt(strategy, image, reference):
+    sz = run_with(strategy, image)
+    back = coord_set(
+        sz.backward_query(
+            reference["out_cells"], BACKWARD_PATH, enable_entire_array=False
+        )
+    )
+    assert back == reference["backward"]
+
+
+def test_single_cell_queries_agree(image):
+    """Exhaustive single-cell agreement between Full and Comp on bright cells."""
+    sz_full = run_with(FULL_ONE_B, image)
+    sz_comp = run_with(COMP_ONE_B, image)
+    spot_out = sz_full.instance.output_array("spot")
+    bright = spot_out.coords_where(lambda v: v > 0.5)
+    targets = bright[:5] if bright.shape[0] else np.asarray([[1, 1]])
+    for cell in targets:
+        a = coord_set(sz_full.backward_query([tuple(cell)], [("spot", 0)]))
+        b = coord_set(sz_comp.backward_query([tuple(cell)], [("spot", 0)]))
+        assert a == b
+
+
+def test_multi_strategy_store_agrees(image, reference):
+    """A node holding several strategies still answers identically."""
+    spec = build_spot_spec()
+    sz = SubZero(spec, enable_query_opt=False)
+    sz.set_strategy("smooth", MAP)
+    sz.set_strategy("scale", MAP)
+    sz.set_strategy("spot", PAY_ONE_B, FULL_ONE_F)
+    sz.run({"img": image})
+    back = coord_set(sz.backward_query(reference["out_cells"], BACKWARD_PATH))
+    fwd = coord_set(sz.forward_query(reference["in_cells"], FORWARD_PATH))
+    assert back == reference["backward"]
+    assert fwd == reference["forward"]

@@ -1,0 +1,100 @@
+"""Tests for the SubZero facade: strategy plumbing, accounting, re-runs."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BLACKBOX,
+    COMP_ONE_B,
+    FULL_ONE_B,
+    MAP,
+    SciArray,
+    SubZero,
+)
+from repro.errors import QueryError, WorkflowError
+from tests.conftest import build_spot_spec
+
+
+@pytest.fixture
+def image(rng):
+    return SciArray.from_numpy(rng.random((14, 16)))
+
+
+class TestStrategyManagement:
+    def test_unknown_node_rejected(self):
+        sz = SubZero(build_spot_spec())
+        with pytest.raises(WorkflowError):
+            sz.set_strategy("nope", FULL_ONE_B)
+
+    def test_use_mapping_where_possible(self):
+        sz = SubZero(build_spot_spec())
+        sz.use_mapping_where_possible()
+        strategies = sz.strategies()
+        assert strategies["smooth"] == (MAP,)
+        assert strategies["scale"] == (MAP,)
+        assert "spot" not in strategies  # SpotUDF has no mapping functions
+
+    def test_use_mapping_idempotent(self):
+        sz = SubZero(build_spot_spec())
+        sz.use_mapping_where_possible()
+        sz.use_mapping_where_possible()
+        assert sz.strategies()["smooth"] == (MAP,)
+
+    def test_apply_plan(self):
+        sz = SubZero(build_spot_spec())
+        sz.apply_plan({"spot": [FULL_ONE_B, BLACKBOX]})
+        assert sz.strategies()["spot"] == (FULL_ONE_B, BLACKBOX)
+
+
+class TestRunAndAccounting:
+    def test_accounting_before_run_is_zero(self):
+        sz = SubZero(build_spot_spec())
+        assert sz.lineage_disk_bytes() == 0
+        assert sz.workflow_seconds() == 0.0
+        assert sz.input_bytes() == 0
+        assert sz.base_storage_bytes() == 0
+
+    def test_accounting_after_run(self, image):
+        sz = SubZero(build_spot_spec())
+        sz.set_strategy("spot", FULL_ONE_B)
+        sz.run({"img": image})
+        assert sz.lineage_disk_bytes() > 0
+        assert sz.workflow_seconds() > 0
+        assert sz.input_bytes() == image.nbytes
+        # base storage: input + 3 node outputs
+        assert sz.base_storage_bytes() == 4 * image.nbytes
+
+    def test_rerun_rebuilds_stores(self, image):
+        sz = SubZero(build_spot_spec())
+        sz.set_strategy("spot", FULL_ONE_B)
+        sz.run({"img": image})
+        first = sz.lineage_disk_bytes()
+        sz.set_strategy("spot", COMP_ONE_B)
+        sz.run({"img": image})
+        second = sz.lineage_disk_bytes()
+        assert second < first  # composite stores only the bright cells
+
+    def test_wal_accumulates_across_runs(self, image):
+        sz = SubZero(build_spot_spec())
+        sz.run({"img": image})
+        sz.run({"img": image})
+        assert len(sz.wal) == 2 * 3
+
+    def test_queries_require_run(self):
+        sz = SubZero(build_spot_spec())
+        with pytest.raises(QueryError):
+            sz.forward_query([(0, 0)], [("smooth", 0)])
+
+    def test_profile_then_query_works(self, image):
+        sz = SubZero(build_spot_spec())
+        sz.profile({"img": image})
+        res = sz.backward_query([(3, 3)], [("spot", 0)])
+        assert res.count >= 1  # served by re-execution
+
+    def test_external_version_store(self, image):
+        from repro import VersionStore
+
+        store = VersionStore()
+        sz = SubZero(build_spot_spec())
+        sz.run({"img": image}, version_store=store)
+        assert len(store) == 4

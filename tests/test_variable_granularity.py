@@ -1,0 +1,98 @@
+"""Tests for the §VIII-D extension: variable-granularity (lossy) lineage.
+
+Star detection can store its payload as a bounding box instead of the exact
+member-cell set.  Queries then return a *superset* of the true lineage —
+the trade the paper's interviewed scientists said they would accept — for
+less storage.
+"""
+
+import numpy as np
+import pytest
+
+from repro import COMP_ONE_B, PAY_ONE_B, SciArray, SubZero, WorkflowSpec
+from repro.bench.astronomy import StarDetect
+
+
+def star_field(seed=0, shape=(48, 64)):
+    """A field with a handful of non-convex bright blobs."""
+    rng = np.random.default_rng(seed)
+    field = rng.normal(0.0, 1.0, size=shape)
+    for _ in range(5):
+        cy, cx = rng.integers(5, shape[0] - 5), rng.integers(5, shape[1] - 5)
+        field[cy, cx - 2: cx + 3] += 40.0  # horizontal bar
+        field[cy - 2: cy + 3, cx] += 40.0  # vertical bar -> a plus shape
+    return SciArray.from_numpy(field)
+
+
+def run_detector(granularity, field, strategy=COMP_ONE_B):
+    spec = WorkflowSpec(name=f"stars_{granularity}")
+    spec.add_source("field")
+    spec.add_node("stars", StarDetect(granularity=granularity), ["field"])
+    sz = SubZero(spec, enable_query_opt=False)
+    sz.set_strategy("stars", strategy)
+    sz.run({"field": field})
+    return sz
+
+
+class TestGranularityValidation:
+    def test_bad_granularity_rejected(self):
+        with pytest.raises(ValueError):
+            StarDetect(granularity="fuzzy")
+
+
+class TestBoxPayloads:
+    @pytest.fixture(scope="class")
+    def field(self):
+        return star_field()
+
+    @pytest.fixture(scope="class")
+    def engines(self, field):
+        return run_detector("exact", field), run_detector("box", field)
+
+    def _star_cells(self, sz):
+        labels = sz.instance.output_array("stars").values().astype(int)
+        ids, counts = np.unique(labels[labels > 0], return_counts=True)
+        star = int(ids[np.argmax(counts)])
+        return np.stack(np.nonzero(labels == star), axis=1)
+
+    def test_box_lineage_is_superset(self, engines):
+        exact_sz, box_sz = engines
+        cells = self._star_cells(exact_sz)
+        target = [tuple(int(x) for x in cells[0])]
+        exact = {tuple(c) for c in exact_sz.backward_query(target, [("stars", 0)]).coords}
+        box = {tuple(c) for c in box_sz.backward_query(target, [("stars", 0)]).coords}
+        assert exact <= box
+
+    def test_box_is_strictly_lossy_for_nonconvex_stars(self, engines):
+        """Plus-shaped stars don't fill their bounding boxes."""
+        exact_sz, box_sz = engines
+        cells = self._star_cells(exact_sz)
+        target = [tuple(int(x) for x in cells[0])]
+        exact = exact_sz.backward_query(target, [("stars", 0)]).count
+        box = box_sz.backward_query(target, [("stars", 0)]).count
+        assert box > exact
+
+    def test_box_payloads_are_smaller(self, field):
+        exact_sz = run_detector("exact", field, strategy=PAY_ONE_B)
+        box_sz = run_detector("box", field, strategy=PAY_ONE_B)
+        # both store one payload per output cell; box payloads are 17 bytes
+        # flat while exact payloads grow with star size
+        assert box_sz.lineage_disk_bytes() < exact_sz.lineage_disk_bytes()
+
+    def test_background_cells_unaffected(self, engines):
+        exact_sz, box_sz = engines
+        labels = exact_sz.instance.output_array("stars").values()
+        cold = np.stack(np.nonzero(labels < 0.5), axis=1)[0]
+        target = [tuple(int(x) for x in cold)]
+        for sz in engines:
+            res = sz.backward_query(target, [("stars", 0)])
+            assert {tuple(c) for c in res.coords} == {target[0]}
+
+    def test_forward_query_remains_superset(self, engines):
+        """Forward through a lossy payload still covers the true lineage."""
+        exact_sz, box_sz = engines
+        cells = self._star_cells(exact_sz)
+        probe = [tuple(int(x) for x in cells[0])]
+        exact = {tuple(c) for c in exact_sz.forward_query(probe, [("stars", 0)]).coords}
+        box = {tuple(c) for c in box_sz.forward_query(probe, [("stars", 0)]).coords}
+        assert exact <= box

@@ -1,0 +1,63 @@
+"""Unit tests for the write-ahead log."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.wal import InvocationRecord, WriteAheadLog
+
+
+def make_record(node="n1", out=3):
+    return InvocationRecord(
+        node=node,
+        op_name="Scale",
+        input_versions=(1, 2),
+        output_version=out,
+        params={"factor": 2.0},
+        lineage_modes=("Map",),
+    )
+
+
+class TestInvocationRecord:
+    def test_json_roundtrip(self):
+        rec = make_record()
+        back = InvocationRecord.from_json(rec.to_json())
+        assert back == rec
+
+    def test_corrupt_json(self):
+        with pytest.raises(StorageError):
+            InvocationRecord.from_json("{not json")
+
+    def test_missing_field(self):
+        with pytest.raises(StorageError):
+            InvocationRecord.from_json('{"node": "x"}')
+
+
+class TestWriteAheadLog:
+    def test_append_iterate(self):
+        log = WriteAheadLog()
+        log.append(make_record("a"))
+        log.append(make_record("b"))
+        assert [r.node for r in log] == ["a", "b"]
+        assert len(log) == 2
+        assert log.nbytes() > 0
+
+    def test_file_backed_and_replay(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        log = WriteAheadLog(path=path)
+        log.append(make_record("a", out=1))
+        log.append(make_record("b", out=2))
+        log.close()
+        replayed = WriteAheadLog.replay(path)
+        assert [r.node for r in replayed] == ["a", "b"]
+        assert replayed.records()[1].output_version == 2
+
+    def test_replay_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.write_text(make_record().to_json() + "\n\n")
+        assert len(WriteAheadLog.replay(str(path))) == 1
+
+    def test_replay_corrupt_raises(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.write_text("garbage\n")
+        with pytest.raises(StorageError):
+            WriteAheadLog.replay(str(path))

@@ -1,0 +1,181 @@
+"""Unit tests for workflow specs, execution, instances, and the WAL hookup."""
+
+import numpy as np
+import pytest
+
+from repro import SciArray, WorkflowSpec, ops
+from repro.core.runtime import LineageRuntime
+from repro.errors import QueryError, WorkflowError
+from repro.core.model import QueryStep
+from repro.storage.wal import WriteAheadLog
+from repro.workflow.executor import execute_workflow
+
+
+def tiny_spec():
+    spec = WorkflowSpec(name="tiny")
+    spec.add_source("a")
+    spec.add_node("double", ops.Scale(2.0), ["a"])
+    spec.add_node("mean", ops.GlobalMean(), ["double"])
+    spec.add_node("centered", ops.BroadcastSubtract(), [["double"], ["mean"]][0] + ["mean"])
+    return spec
+
+
+class TestSpecBuilder:
+    def test_duplicate_names_rejected(self):
+        spec = WorkflowSpec()
+        spec.add_source("a")
+        with pytest.raises(WorkflowError):
+            spec.add_source("a")
+        spec.add_node("n", ops.Scale(1.0), ["a"])
+        with pytest.raises(WorkflowError):
+            spec.add_node("n", ops.Scale(1.0), ["a"])
+        with pytest.raises(WorkflowError):
+            spec.add_source("n")
+
+    def test_unknown_input_rejected(self):
+        spec = WorkflowSpec()
+        spec.add_source("a")
+        with pytest.raises(WorkflowError):
+            spec.add_node("n", ops.Scale(1.0), ["missing"])
+
+    def test_arity_checked(self):
+        spec = WorkflowSpec()
+        spec.add_source("a")
+        with pytest.raises(WorkflowError):
+            spec.add_node("n", ops.Add(), ["a"])
+
+    def test_operator_instance_reuse_rejected(self):
+        spec = WorkflowSpec()
+        spec.add_source("a")
+        op = ops.Scale(1.0)
+        spec.add_node("n1", op, ["a"])
+        with pytest.raises(WorkflowError):
+            spec.add_node("n2", op, ["a"])
+
+    def test_topo_order_and_sinks(self):
+        spec = tiny_spec()
+        order = spec.topo_order()
+        assert order.index("double") < order.index("mean") < order.index("centered")
+        assert spec.sinks() == ["centered"]
+
+    def test_producer_and_consumers(self):
+        spec = tiny_spec()
+        assert spec.producer("centered", 1) == "mean"
+        assert ("mean", 0) in spec.consumers("double")
+        with pytest.raises(WorkflowError):
+            spec.producer("centered", 5)
+
+    def test_validate_empty(self):
+        with pytest.raises(WorkflowError):
+            WorkflowSpec().validate()
+
+    def test_string_input_shorthand(self):
+        spec = WorkflowSpec()
+        spec.add_source("a")
+        spec.add_node("n", ops.Scale(1.0), "a")
+        assert spec.node("n").inputs == ("a",)
+
+
+class TestExecution:
+    def test_end_to_end_values(self):
+        spec = tiny_spec()
+        data = np.asarray([[1.0, 2.0], [3.0, 4.0]])
+        instance = execute_workflow(spec, {"a": SciArray.from_numpy(data)})
+        doubled = data * 2
+        expected = doubled - doubled.mean()
+        assert np.allclose(instance.output_array("centered").values(), expected)
+
+    def test_missing_input(self):
+        with pytest.raises(WorkflowError):
+            execute_workflow(tiny_spec(), {})
+
+    def test_extra_input(self):
+        spec = tiny_spec()
+        arrays = {
+            "a": SciArray.from_numpy(np.ones((2, 2))),
+            "zzz": SciArray.from_numpy(np.ones((2, 2))),
+        }
+        with pytest.raises(WorkflowError):
+            execute_workflow(spec, arrays)
+
+    def test_versions_are_persisted(self):
+        spec = tiny_spec()
+        instance = execute_workflow(spec, {"a": SciArray.from_numpy(np.ones((2, 2)))})
+        # 1 source + 3 operator outputs
+        assert len(instance.versions) == 4
+        execution = instance.executions["centered"]
+        assert len(execution.input_versions) == 2
+
+    def test_wal_written_per_node(self):
+        spec = tiny_spec()
+        wal = WriteAheadLog()
+        execute_workflow(spec, {"a": SciArray.from_numpy(np.ones((2, 2)))}, wal=wal)
+        assert [r.node for r in wal] == spec.topo_order()
+
+    def test_stats_recorded(self):
+        spec = tiny_spec()
+        runtime = LineageRuntime()
+        execute_workflow(
+            spec, {"a": SciArray.from_numpy(np.ones((2, 2)))}, runtime=runtime
+        )
+        stats = runtime.stats.get("double")
+        assert stats.output_size == 4
+        assert stats.input_sizes == (4,)
+
+    def test_input_arrays_accessible(self):
+        spec = tiny_spec()
+        instance = execute_workflow(spec, {"a": SciArray.from_numpy(np.ones((2, 2)))})
+        arrays = instance.input_arrays("centered")
+        assert arrays[0].shape == (2, 2)
+        assert arrays[1].shape == (1,)
+
+    def test_array_of_source_or_node(self):
+        spec = tiny_spec()
+        instance = execute_workflow(spec, {"a": SciArray.from_numpy(np.ones((2, 2)))})
+        assert instance.array_of("a").shape == (2, 2)
+        assert instance.array_of("mean").shape == (1,)
+        with pytest.raises(WorkflowError):
+            instance.array_of("nope")
+
+
+class TestPathValidation:
+    @pytest.fixture
+    def instance(self):
+        return execute_workflow(
+            tiny_spec(), {"a": SciArray.from_numpy(np.ones((2, 2)))}
+        )
+
+    def test_backward_path_ok(self, instance):
+        instance.validate_backward_path(
+            [QueryStep("centered", 0), QueryStep("double", 0)]
+        )
+
+    def test_backward_path_broken(self, instance):
+        with pytest.raises(QueryError):
+            instance.validate_backward_path(
+                [QueryStep("centered", 0), QueryStep("mean", 0)]
+            )
+
+    def test_backward_path_via_input_index(self, instance):
+        instance.validate_backward_path(
+            [QueryStep("centered", 1), QueryStep("mean", 0), QueryStep("double", 0)]
+        )
+
+    def test_forward_path_ok(self, instance):
+        instance.validate_forward_path(
+            [QueryStep("double", 0), QueryStep("mean", 0), QueryStep("centered", 1)]
+        )
+
+    def test_forward_path_broken(self, instance):
+        with pytest.raises(QueryError):
+            instance.validate_forward_path(
+                [QueryStep("mean", 0), QueryStep("double", 0)]
+            )
+
+    def test_unknown_node(self, instance):
+        with pytest.raises(QueryError):
+            instance.validate_backward_path([QueryStep("ghost", 0)])
+
+    def test_bad_input_index(self, instance):
+        with pytest.raises(QueryError):
+            instance.validate_backward_path([QueryStep("centered", 7)])
