@@ -46,7 +46,7 @@ class CostConstants:
     index_entry_s: float = 1.2e-6  # per entry inserted into the R-tree
     key_bytes: int = 8
     ref_bytes: int = 8
-    enc_cell_bytes: float = 9.0  # average encoded cell footprint
+    enc_cell_bytes: float = 9.0  # encoded cell fallback before codec sampling
     entry_overhead_bytes: int = 14
     rtree_entry_bytes: int = 40
     default_reexec_s: float = 0.05  # before any measurement exists
@@ -139,7 +139,14 @@ class CostModel:
     # -- ILP inputs ------------------------------------------------------------
 
     def disk_bytes(self, node: str, strategy: StorageStrategy) -> float:
-        """Bytes the strategy would occupy for ``node`` (measured if known)."""
+        """Bytes the strategy would occupy for ``node`` (measured if known).
+
+        The value side of the Full layouts is priced with the codec-aware
+        per-cell footprint the stats collector sampled through
+        ``int_array_nbytes`` — so an operator whose lineage interval-codes
+        (convolution, reshape) budgets at its real compressed size — with
+        the flat ``enc_cell_bytes`` constant as the pre-profiling fallback.
+        """
         if not strategy.stores_pairs:
             return 0.0
         s = self.stats.get(node)
@@ -155,16 +162,20 @@ class CostModel:
             return s.n_payload_outcells * k.key_bytes + s.n_payload_pairs * (
                 per_pair_payload + k.entry_overhead_bytes + k.rtree_entry_bytes
             )
-        cells_key = full_out if strategy.orientation is Orientation.BACKWARD else s.n_incells
-        cells_val = s.n_incells if strategy.orientation is Orientation.BACKWARD else full_out
+        backward = strategy.orientation is Orientation.BACKWARD
+        cells_key = full_out if backward else s.n_incells
+        cells_val = s.n_incells if backward else full_out
+        per_cell = s.enc_in_bytes_per_cell if backward else s.enc_out_bytes_per_cell
+        if per_cell is None:
+            per_cell = k.enc_cell_bytes
         if strategy.encoding is EncodingKind.ONE:
             return (
                 cells_key * (k.key_bytes + k.ref_bytes)
-                + cells_val * k.enc_cell_bytes
+                + cells_val * per_cell
             )
         return (
             cells_key * k.key_bytes
-            + cells_val * k.enc_cell_bytes
+            + cells_val * per_cell
             + s.n_pairs * (k.entry_overhead_bytes + k.rtree_entry_bytes)
         )
 

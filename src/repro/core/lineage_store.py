@@ -25,7 +25,10 @@ forward-optimized ones key by input cells (one sub-store per input array,
 since cells of different inputs would collide after bit-packing).  Queries
 against the matching orientation are hash probes / R-tree descents; queries
 against the wrong orientation fall back to a cursor scan over every entry —
-the expensive mismatch the paper measures in Figure 6(b).
+the expensive mismatch the paper measures in Figure 6(b).  Those scans no
+longer decode every entry value: they probe the encoded bytes in situ via
+:mod:`repro.storage.codecs` (``contains_any`` / ``intersect``), so an entry
+is accepted or rejected without materialising its full cell array.
 
 All public methods speak *packed* coordinates (int64, see
 :mod:`repro.arrays.coords`).
@@ -44,6 +47,7 @@ from repro.core.modes import (
     StorageStrategy,
 )
 from repro.errors import LineageError, StorageError
+from repro.storage import codecs
 from repro.storage import serialize as ser
 from repro.storage.kvstore import BlobStore, HashStore
 from repro.storage.rtree import RTree
@@ -213,6 +217,54 @@ class RegionEntryTable:
         self.finalize()
         return self._vbuf[self._voff[entry_id]: self._voff[entry_id + 1]]
 
+    # -- in-situ value probes -----------------------------------------------------
+    #
+    # Valid only for tables whose values are codec-encoded cell sets (the
+    # Full layouts); ``field`` skips over preceding sets when a value holds
+    # one per input array.  None of these slice or decode the value buffer.
+
+    def iter_entry_ids(self) -> range:
+        self.finalize()
+        return range(self._koff.size - 1) if self._koff is not None else range(0)
+
+    def _value_offset(self, entry_id: int, field: int) -> int:
+        self.finalize()
+        offset = int(self._voff[entry_id])
+        end = int(self._voff[entry_id + 1])
+        for _ in range(field):
+            if offset >= end:
+                break
+            offset = codecs.skip_cells(self._vbuf, offset)
+        # never read into the next entry's bytes: a wrong field count or a
+        # value whose header overstates its payload must fail loudly, not
+        # probe a neighbouring value
+        if offset >= end:
+            raise StorageError(f"entry {entry_id} has no cell-set field {field}")
+        if codecs.skip_cells(self._vbuf, offset) > end:
+            raise StorageError(
+                f"entry {entry_id} field {field} overruns the entry value"
+            )
+        return offset
+
+    def value_contains_any(
+        self, entry_id: int, sorted_query: np.ndarray, field: int = 0
+    ) -> bool:
+        """Decode-free: does the entry's encoded cell set hit the query?"""
+        offset = self._value_offset(entry_id, field)  # finalizes first
+        return codecs.contains_any(self._vbuf, sorted_query, offset)
+
+    def value_intersect(
+        self, entry_id: int, sorted_query: np.ndarray, field: int = 0
+    ) -> np.ndarray:
+        """Query values present in the entry's encoded cell set."""
+        offset = self._value_offset(entry_id, field)  # finalizes first
+        return codecs.intersect(self._vbuf, sorted_query, offset)
+
+    def value_bounds(self, entry_id: int, field: int = 0) -> tuple[int, int, int]:
+        """``(lo, hi, count)`` of the encoded set without expanding it."""
+        offset = self._value_offset(entry_id, field)  # finalizes first
+        return codecs.decoded_bounds(self._vbuf, offset)
+
     def iter_entries(self):
         """Cursor over ``(key_cells, value)`` — the mismatched-index path."""
         self.finalize()
@@ -242,7 +294,9 @@ class RegionEntryTable:
 
     def flush(self, path: str) -> int:
         """Write the finalized table to one file; boxes and the R-tree are
-        derived data and rebuilt on load."""
+        derived data and rebuilt on load.  The value buffer is opaque at
+        this layer, so files whose values predate the codec tag bytes load
+        unchanged."""
         import os
         import struct
 
@@ -488,15 +542,18 @@ class _FullBackwardOne(OpLineageStore):
             in_cell = int(np.frombuffer(value, dtype="<i8")[0])
             if _in_sorted(query, in_cell):
                 hits.append(out_key)
-        decoded: dict[int, list[np.ndarray]] = {}
+        verdicts: dict[int, bool] = {}
         for out_key, value in self._refs.scan():
             if ticker is not None:
                 ticker()
             ref = int(np.frombuffer(value, dtype="<i8")[0])
-            if ref not in decoded:
-                decoded[ref] = decode_full_value(self._blobs.get(ref), self.arity)
-            cells = decoded[ref][input_idx]
-            if C.isin_sorted(cells, query).any():
+            if ref not in verdicts:
+                blob = self._blobs.get(ref)
+                offset = 0
+                for _ in range(input_idx):
+                    offset = codecs.skip_cells(blob, offset)
+                verdicts[ref] = codecs.contains_any(blob, query, offset)
+            if verdicts[ref]:
                 hits.append(out_key)
         return np.asarray(sorted(set(hits)), dtype=np.int64)
 
@@ -573,12 +630,11 @@ class _FullBackwardMany(OpLineageStore):
     def scan_forward_full(self, qpacked, input_idx, ticker=None):
         query = np.sort(qpacked)
         hits: list[np.ndarray] = []
-        for keys, value in self._table.iter_entries():
+        for entry_id in self._table.iter_entry_ids():
             if ticker is not None:
                 ticker()
-            cells = decode_full_value(value, self.arity)[input_idx]
-            if C.isin_sorted(cells, query).any():
-                hits.append(keys)
+            if self._table.value_contains_any(entry_id, query, field=input_idx):
+                hits.append(self._table.entry_keys(entry_id))
         return np.unique(_concat(hits)) if hits else np.empty(0, dtype=np.int64)
 
     def disk_bytes(self) -> int:
@@ -645,7 +701,7 @@ class _FullForwardOne(OpLineageStore):
         query = np.sort(qpacked)
         matched_cells: list[int] = []
         per_input: list[list[np.ndarray]] = [[] for _ in range(self.arity)]
-        decoded: dict[int, np.ndarray] = {}
+        intersections: dict[int, np.ndarray] = {}
         for i in range(self.arity):
             for in_key, value in self._direct[i].scan():
                 if ticker is not None:
@@ -658,10 +714,9 @@ class _FullForwardOne(OpLineageStore):
                 if ticker is not None:
                     ticker()
                 ref = int(np.frombuffer(value, dtype="<i8")[0])
-                if ref not in decoded:
-                    decoded[ref], _ = ser.decode_int_array(self._blobs.get(ref))
-                outs = decoded[ref]
-                inter = outs[C.isin_sorted(outs, query)]
+                if ref not in intersections:
+                    intersections[ref] = codecs.intersect(self._blobs.get(ref), query)
+                inter = intersections[ref]
                 if inter.size:
                     matched_cells.extend(int(c) for c in inter)
                     per_input[i].append(np.asarray([in_key], dtype=np.int64))
@@ -736,14 +791,13 @@ class _FullForwardMany(OpLineageStore):
         matched_cells: list[np.ndarray] = []
         per_input: list[list[np.ndarray]] = [[] for _ in range(self.arity)]
         for i, table in enumerate(self._tables):
-            for keys, value in table.iter_entries():
+            for entry_id in table.iter_entry_ids():
                 if ticker is not None:
                     ticker()
-                outs, _ = ser.decode_int_array(value)
-                inter = outs[C.isin_sorted(outs, query)]
+                inter = table.value_intersect(entry_id, query)
                 if inter.size:
                     matched_cells.append(inter)
-                    per_input[i].append(keys)
+                    per_input[i].append(table.entry_keys(entry_id))
         matched_set = _concat(matched_cells)
         matched = np.isin(qpacked, matched_set)
         return matched, [_concat(parts) for parts in per_input]

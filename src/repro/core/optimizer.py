@@ -16,6 +16,12 @@ unavailable.  Heuristic pruning mirrors the paper: strategies that alone
 bust a budget are dropped, as are stored strategies whose index orientation
 matches no query in the workload; mapping functions are always kept (they
 are free).
+
+The disk budget is enforced against :meth:`CostModel.disk_bytes`, which is
+codec-aware: operators whose lineage compresses well (interval-coded
+convolution/reshape regions) are budgeted at their sampled compressed
+footprint rather than a flat bytes-per-cell constant, so the optimizer can
+afford to materialise strategies the old estimate would have pruned.
 """
 
 from __future__ import annotations

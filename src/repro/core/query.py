@@ -70,6 +70,10 @@ class StepStats:
     cells_out: int
     switched_to_blackbox: bool = False
     shortcut: str | None = None
+    #: cells a store returned that fell outside the target array and were
+    #: discarded — nonzero values point at store/encoder bugs that silent
+    #: clipping used to mask
+    dropped_cells: int = 0
 
 
 @dataclass
@@ -104,6 +108,8 @@ class QueryResult:
                 extras.append(s.shortcut)
             if s.switched_to_blackbox:
                 extras.append("switched-to-blackbox")
+            if s.dropped_cells:
+                extras.append(f"dropped={s.dropped_cells}")
             note = f"  [{', '.join(extras)}]" if extras else ""
             lines.append(
                 f"  {i + 1:>2}. {s.node:<{width}}  {s.direction.value:<8} "
@@ -240,8 +246,11 @@ class QueryExecutor:
             packed = self._run_strategy(
                 node, op, BLACKBOX, qpacked, idx, backward, out_shape, in_shape, None
             )
+        dropped = 0
         if packed.size:
-            packed = packed[(packed >= 0) & (packed < int(np.prod(target_shape)))]
+            in_range = (packed >= 0) & (packed < int(np.prod(target_shape)))
+            dropped = int(packed.size - np.count_nonzero(in_range))
+            packed = packed[in_range]
             next_frontier.add_packed(np.unique(packed))
         seconds = time.perf_counter() - start
         self.cost_model.record_observation(
@@ -256,6 +265,7 @@ class QueryExecutor:
             frontier.count,
             next_frontier.count,
             switched_to_blackbox=switched,
+            dropped_cells=dropped,
         )
 
     # -- strategy selection (query-time optimizer, §VII-A) ----------------------------

@@ -87,9 +87,20 @@ class LineageRuntime:
                 node, strategy, op.output_shape, op.input_shapes
             )
 
-    def ingest(self, node: str, sink: BufferSink) -> float:
-        """Encode everything an operator emitted; returns seconds spent."""
-        self.stats.record_sink(node, sink)
+    def ingest(
+        self,
+        node: str,
+        sink: BufferSink,
+        out_shape: tuple[int, ...] | None = None,
+        in_shapes: tuple[tuple[int, ...], ...] | None = None,
+    ) -> float:
+        """Encode everything an operator emitted; returns seconds spent.
+
+        When the executor passes the operator's array shapes, the stats
+        collector also prices a sample of the pairs through the codec layer
+        so the optimizer later budgets against compressed footprints.
+        """
+        self.stats.record_sink(node, sink, out_shape=out_shape, in_shapes=in_shapes)
         if self.profile:
             return 0.0
         total = 0.0

@@ -11,9 +11,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from repro.arrays import coords as C
 from repro.core.model import BufferSink
+from repro.storage import serialize as ser
 
 __all__ = ["OperatorStats", "StatsCollector"]
+
+#: how many region pairs :meth:`StatsCollector.record_sink` samples when
+#: predicting codec-compressed footprints (the rest is extrapolated)
+ENC_SAMPLE_PAIRS = 256
+
+#: serialized bytes of a one-cell codec value (the stable singleton layout),
+#: derived from the codec layer so it can never drift from the wire format
+_SINGLETON_BYTES = ser.int_array_nbytes(np.zeros(1, dtype=np.int64))
 
 
 @dataclass
@@ -30,6 +42,10 @@ class OperatorStats:
     n_payload_outcells: int = 0
     output_size: int = 0
     input_sizes: tuple[int, ...] = ()
+    # codec-predicted serialized footprints (sampled via int_array_nbytes,
+    # extrapolated to the whole sink); zero until a run provided shapes
+    enc_in_bytes: int = 0
+    enc_out_bytes: int = 0
     # measured per strategy label
     write_seconds: dict[str, float] = field(default_factory=dict)
     disk_bytes: dict[str, int] = field(default_factory=dict)
@@ -51,6 +67,21 @@ class OperatorStats:
     @property
     def payload_bytes_avg(self) -> float:
         return self.payload_bytes / self.n_payload_pairs if self.n_payload_pairs else 0.0
+
+    @property
+    def enc_in_bytes_per_cell(self) -> float | None:
+        """Codec-aware encoded bytes per input cell (None when unmeasured)."""
+        if self.enc_in_bytes <= 0 or self.n_incells <= 0:
+            return None
+        return self.enc_in_bytes / self.n_incells
+
+    @property
+    def enc_out_bytes_per_cell(self) -> float | None:
+        """Codec-aware encoded bytes per output cell (None when unmeasured)."""
+        full_out = self.n_outcells - self.n_payload_outcells
+        if self.enc_out_bytes <= 0 or full_out <= 0:
+            return None
+        return self.enc_out_bytes / full_out
 
 
 class StatsCollector:
@@ -84,10 +115,25 @@ class StatsCollector:
         stats.output_size = output_size
         stats.input_sizes = input_sizes
 
-    def record_sink(self, node: str, sink: BufferSink) -> None:
-        """Derive pair/fan statistics from what an operator emitted."""
+    def record_sink(
+        self,
+        node: str,
+        sink: BufferSink,
+        out_shape: tuple[int, ...] | None = None,
+        in_shapes: tuple[tuple[int, ...], ...] | None = None,
+    ) -> None:
+        """Derive pair/fan statistics from what an operator emitted.
+
+        When the caller provides the array shapes, a sample of the region
+        pairs is additionally priced through the codec layer
+        (:func:`repro.storage.serialize.int_array_nbytes`), so the cost
+        model sees *compressed* footprints — contiguous convolution or
+        reshape lineage interval-codes to a fraction of the old per-cell
+        constant — instead of a flat bytes-per-cell guess.
+        """
         stats = self.get(node)
         n_pairs = n_out = n_in = pay_bytes = n_pay = n_pay_out = 0
+        full_pairs = []
         for pair in sink.pairs:
             n_pairs += 1
             n_out += pair.fanout
@@ -97,10 +143,13 @@ class StatsCollector:
                 pay_bytes += len(pair.payload)
             else:
                 n_in += sum(int(cells.shape[0]) for cells in pair.incells)
+                full_pairs.append(pair)
+        n_elem = 0
         for batch in sink.elementwise:
             n_pairs += batch.count
             n_out += batch.count
             n_in += batch.count * len(batch.incells)
+            n_elem += batch.count
         for pbatch in sink.payload_batches:
             n_pairs += pbatch.count
             n_pay += pbatch.count
@@ -116,6 +165,49 @@ class StatsCollector:
         stats.payload_bytes = pay_bytes
         stats.n_payload_pairs = n_pay
         stats.n_payload_outcells = n_pay_out
+        if out_shape is not None and in_shapes is not None:
+            enc_in, enc_out = self._predict_encoded_bytes(
+                full_pairs, n_elem, out_shape, in_shapes
+            )
+            stats.enc_in_bytes = enc_in
+            stats.enc_out_bytes = enc_out
+        else:
+            # the cell counts above were overwritten for this sink; stale
+            # codec samples from an earlier shaped call would no longer
+            # match their denominators
+            stats.enc_in_bytes = 0
+            stats.enc_out_bytes = 0
+
+    @staticmethod
+    def _predict_encoded_bytes(
+        full_pairs: list,
+        n_elem: int,
+        out_shape: tuple[int, ...],
+        in_shapes: tuple[tuple[int, ...], ...],
+    ) -> tuple[int, int]:
+        """Codec-priced (input-side, output-side) bytes for the full pairs.
+
+        Prices up to :data:`ENC_SAMPLE_PAIRS` pairs exactly — sorted packed
+        coordinates through ``int_array_nbytes``, which mirrors the codec
+        selection byte-for-byte — and extrapolates the rest linearly.
+        Elementwise batches contribute the fixed singleton layout per cell.
+        """
+        sample = full_pairs[:ENC_SAMPLE_PAIRS]
+        in_bytes = out_bytes = 0
+        for pair in sample:
+            for i, cells in enumerate(pair.incells):
+                packed = np.sort(C.pack_coords(cells, in_shapes[i]))
+                in_bytes += ser.int_array_nbytes(packed)
+            packed = np.sort(C.pack_coords(pair.outcells, out_shape))
+            out_bytes += ser.int_array_nbytes(packed)
+        if sample and len(full_pairs) > len(sample):
+            scale = len(full_pairs) / len(sample)
+            in_bytes = int(in_bytes * scale)
+            out_bytes = int(out_bytes * scale)
+        arity = max(1, len(in_shapes))
+        in_bytes += n_elem * arity * _SINGLETON_BYTES
+        out_bytes += n_elem * _SINGLETON_BYTES
+        return in_bytes, out_bytes
 
     def record_store(
         self, node: str, strategy_label: str, write_seconds: float, disk_bytes: int

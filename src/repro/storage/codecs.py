@@ -1,0 +1,709 @@
+"""Compressed lineage codecs with in-situ query processing.
+
+SubZero's encoders persist *sets of packed cell coordinates* (int64, ravel
+order) that "can easily be larger than the original data arrays" (§VI-B).
+"Compression and In-Situ Query Processing for Fine-Grained Array Lineage"
+(Zhao & Krishnan, arXiv:2405.17701) shows that the right wire format is
+workload-dependent — scattered sets want delta coding, contiguous regions
+want interval coding — and that membership probes should run against the
+encoded bytes instead of materialising the full cell array first.
+
+This module provides that layer:
+
+:class:`Codec`
+    The interface: ``encode``/``decode``/``nbytes`` plus the decode-free
+    probes ``contains_any`` / ``intersect`` / ``bounds`` / ``skip``.
+
+Three concrete codecs, distinguished by a leading *tag byte* per value:
+
+``DeltaCodec`` (tag ``0x49``)
+    The repo's original delta + minimal-fixed-width scheme, byte-for-byte.
+    Its historical magic byte doubles as its codec tag, so every value
+    written before this subsystem existed still decodes — old flushed
+    stores load unchanged.
+
+``RawCodec`` (tag ``0x52``)
+    Fixed-width 8-byte values.  Never smaller than delta on compressible
+    data, but always *eligible*: it is the fallback when a set spans more
+    than the int64 range and delta residuals would overflow.
+
+``IntervalCodec`` (tag ``0x56``)
+    Run-length coding over maximal ``+1``-stride runs.  Contiguous regions
+    — convolution neighbourhoods, reshape/spatial blocks — collapse to a
+    handful of ``(gap, length)`` pairs, and membership probes binary-search
+    the run table without ever expanding the cells.
+
+:func:`encode_cells` picks the smallest eligible encoding per value;
+:func:`decode_cells` and the in-situ probes dispatch on the tag byte.
+Everything is vectorised with numpy; nothing here loops over cells.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.arrays.coords import isin_sorted
+from repro.errors import StorageError
+
+__all__ = [
+    "Codec",
+    "DeltaCodec",
+    "RawCodec",
+    "IntervalCodec",
+    "TAG_DELTA",
+    "TAG_RAW",
+    "TAG_INTERVAL",
+    "codec_for_tag",
+    "encode_uvarint",
+    "decode_uvarint",
+    "uvarint_len",
+    "encode_cells",
+    "decode_cells",
+    "cells_nbytes",
+    "skip_cells",
+    "contains_any",
+    "intersect",
+    "decoded_bounds",
+]
+
+TAG_DELTA = 0x49  # ord('I'): the legacy magic byte doubles as the codec tag
+TAG_RAW = 0x52  # ord('R')
+TAG_INTERVAL = 0x56  # ord('V')
+
+_FLAG_SORTED = 0x01
+_WIDTHS = (1, 2, 4, 8)
+_DTYPES = {1: "<u1", 2: "<u2", 4: "<u4", 8: "<u8"}
+
+
+# -- varints (shared with :mod:`repro.storage.serialize`) -----------------------
+
+
+def encode_uvarint(value: int) -> bytes:
+    """LEB128 unsigned varint."""
+    if value < 0:
+        raise StorageError(f"uvarint cannot encode negative value {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_uvarint(buf: bytes, offset: int = 0) -> tuple[int, int]:
+    """Return ``(value, next_offset)``."""
+    result = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(buf):
+            raise StorageError("truncated uvarint")
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            raise StorageError("uvarint overflow")
+
+
+def uvarint_len(value: int) -> int:
+    """Encoded size of a uvarint without materialising the bytes."""
+    if value < 0:
+        raise StorageError(f"uvarint cannot encode negative value {value}")
+    size = 1
+    while value > 0x7F:
+        value >>= 7
+        size += 1
+    return size
+
+
+def _width_for(max_value: int) -> int:
+    for width in _WIDTHS:
+        if max_value < (1 << (8 * width)):
+            return width
+    raise StorageError(f"residual {max_value} does not fit in 8 bytes")
+
+
+def _as_int64(arr: np.ndarray) -> np.ndarray:
+    return np.asarray(arr, dtype=np.int64).ravel()
+
+
+def _is_sorted(arr: np.ndarray) -> bool:
+    return bool(arr.size <= 1 or (arr[1:] >= arr[:-1]).all())
+
+
+class Codec:
+    """One wire format for an int64 cell set, identified by ``tag``.
+
+    ``encode``/``nbytes`` take the raw array; a codec that cannot represent
+    a given array exactly (overflowing residuals, non-contiguous data, …)
+    reports ``nbytes() is None`` and refuses ``encode`` with
+    :class:`~repro.errors.StorageError`.  The probe methods operate on the
+    encoded bytes *in place* — ``buf`` may be a much larger buffer with the
+    value starting at ``offset`` — and never materialise more than they
+    must: ``bounds`` and ``skip`` read only headers/summaries, and
+    ``contains_any``/``intersect`` reject via bounds before touching the
+    payload.
+    """
+
+    tag: int = -1
+    name: str = "abstract"
+
+    # -- encoding ----------------------------------------------------------
+
+    def nbytes(self, arr: np.ndarray) -> int | None:
+        """Encoded size, or None when this codec cannot encode ``arr``."""
+        raise NotImplementedError
+
+    def encode(self, arr: np.ndarray) -> bytes:
+        raise NotImplementedError
+
+    # -- decoding ----------------------------------------------------------
+
+    def decode(self, buf: bytes, offset: int = 0) -> tuple[np.ndarray, int]:
+        """Return ``(array, next_offset)``; ``buf[offset]`` must be ``tag``."""
+        raise NotImplementedError
+
+    def skip(self, buf: bytes, offset: int = 0) -> int:
+        """Next offset after this value, reading only the header."""
+        raise NotImplementedError
+
+    # -- in-situ probes ----------------------------------------------------
+
+    def bounds(self, buf: bytes, offset: int = 0) -> tuple[int, int, int]:
+        """``(lo, hi, count)`` without expanding cells; empty → ``(0, -1, 0)``."""
+        raise NotImplementedError
+
+    def contains_any(self, buf: bytes, offset: int, sorted_query: np.ndarray) -> bool:
+        """True when any value of ``sorted_query`` is in the encoded set."""
+        raise NotImplementedError
+
+    def intersect(
+        self, buf: bytes, offset: int, sorted_query: np.ndarray
+    ) -> np.ndarray:
+        """The subset of ``sorted_query`` present in the encoded set."""
+        raise NotImplementedError
+
+    def _check_tag(self, buf: bytes, offset: int) -> None:
+        if offset >= len(buf) or buf[offset] != self.tag:
+            raise StorageError(f"value at offset {offset} is not a {self.name} value")
+
+
+class DeltaCodec(Codec):
+    """Delta + minimal-fixed-width coding (the repo's original format).
+
+    Sorted sets store the first value plus non-negative deltas; unsorted
+    sequences store offsets from their minimum; residuals use the narrowest
+    of 1/2/4/8 bytes.  Ineligible when the value range exceeds int64 and the
+    residuals would wrap negative.
+    """
+
+    tag = TAG_DELTA
+    name = "delta"
+
+    def _residuals(
+        self, arr: np.ndarray, is_sorted: bool, d: np.ndarray | None = None
+    ) -> tuple[np.ndarray, int, int] | None:
+        """``(residuals, base, flags)`` or None when residuals overflow.
+
+        ``d`` may carry a precomputed ``np.diff(arr)`` so selection shares
+        one diff pass between the delta and interval planners.
+        """
+        if is_sorted:
+            base = int(arr[0])
+            residuals = np.diff(arr) if d is None else d
+            flags = _FLAG_SORTED
+        else:
+            base = int(arr.min())
+            residuals = arr - base
+            flags = 0
+        if residuals.size and int(residuals.min()) < 0:
+            return None  # int64 overflow: span exceeds the residual range
+        return residuals, base, flags
+
+    @staticmethod
+    def _planned_size(n: int, plan: tuple[np.ndarray, int, int]) -> int:
+        residuals, _, flags = plan
+        width = _width_for(int(residuals.max()) if residuals.size else 0)
+        count = n - 1 if flags & _FLAG_SORTED else n
+        return 2 + uvarint_len(n) + 1 + 8 + count * width
+
+    def _encode_planned(
+        self, arr: np.ndarray, plan: tuple[np.ndarray, int, int] | None
+    ) -> bytes:
+        n = arr.size
+        header = bytearray([self.tag])
+        if n == 0:
+            header.append(0)  # flags
+            header += encode_uvarint(0)
+            return bytes(header)
+        residuals, base, flags = plan
+        width = _width_for(int(residuals.max()) if residuals.size else 0)
+        header.append(flags)
+        header += encode_uvarint(n)
+        header.append(width)
+        header += struct.pack("<q", base)
+        return bytes(header) + residuals.astype(_DTYPES[width]).tobytes()
+
+    def nbytes(self, arr: np.ndarray) -> int | None:
+        arr = _as_int64(arr)
+        if arr.size == 0:
+            return 3
+        plan = self._residuals(arr, _is_sorted(arr))
+        return None if plan is None else self._planned_size(arr.size, plan)
+
+    def encode(self, arr: np.ndarray) -> bytes:
+        arr = _as_int64(arr)
+        if arr.size == 0:
+            return self._encode_planned(arr, None)
+        plan = self._residuals(arr, _is_sorted(arr))
+        if plan is None:
+            raise StorageError("negative residual in delta encoding")
+        return self._encode_planned(arr, plan)
+
+    def _header(self, buf: bytes, offset: int) -> tuple[int, int, int, int, int, int]:
+        """``(flags, n, width, base, payload_pos, count)``; n == 0 → width/base 0."""
+        self._check_tag(buf, offset)
+        pos = offset + 1
+        if pos >= len(buf):
+            raise StorageError("truncated int array header")
+        flags = buf[pos]
+        pos += 1
+        n, pos = decode_uvarint(buf, pos)
+        if n == 0:
+            return flags, 0, 0, 0, pos, 0
+        if pos >= len(buf):
+            raise StorageError("truncated int array header")
+        width = buf[pos]
+        pos += 1
+        if width not in _DTYPES:
+            raise StorageError(f"bad residual width {width}")
+        if pos + 8 > len(buf):
+            raise StorageError("truncated int array header")
+        (base,) = struct.unpack_from("<q", buf, pos)
+        pos += 8
+        count = n - 1 if flags & _FLAG_SORTED else n
+        if pos + count * width > len(buf):
+            raise StorageError("truncated int array payload")
+        return flags, n, width, base, pos, count
+
+    def decode(self, buf: bytes, offset: int = 0) -> tuple[np.ndarray, int]:
+        flags, n, width, base, pos, count = self._header(buf, offset)
+        if n == 0:
+            return np.empty(0, dtype=np.int64), pos
+        residuals = np.frombuffer(
+            buf, dtype=_DTYPES[width], count=count, offset=pos
+        ).astype(np.int64)
+        end = pos + count * width
+        if flags & _FLAG_SORTED:
+            out = np.empty(n, dtype=np.int64)
+            out[0] = base
+            if count:
+                np.cumsum(residuals, out=out[1:])
+                out[1:] += base
+        else:
+            out = residuals + base
+        return out, end
+
+    def skip(self, buf: bytes, offset: int = 0) -> int:
+        _, _, width, _, pos, count = self._header(buf, offset)
+        return pos + count * width
+
+    def bounds(self, buf: bytes, offset: int = 0) -> tuple[int, int, int]:
+        flags, n, width, base, pos, count = self._header(buf, offset)
+        if n == 0:
+            return 0, -1, 0
+        if count == 0:
+            return base, base, n
+        residuals = np.frombuffer(buf, dtype=_DTYPES[width], count=count, offset=pos)
+        if flags & _FLAG_SORTED:
+            return base, base + int(residuals.sum(dtype=np.uint64)), n
+        return base, base + int(residuals.max()), n
+
+    def contains_any(self, buf: bytes, offset: int, sorted_query: np.ndarray) -> bool:
+        return self.intersect(buf, offset, sorted_query).size > 0
+
+    def intersect(self, buf: bytes, offset: int, sorted_query: np.ndarray) -> np.ndarray:
+        sorted_query = _as_int64(sorted_query)
+        lo, hi, n = self.bounds(buf, offset)
+        if n == 0 or sorted_query.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if int(sorted_query[-1]) < lo or int(sorted_query[0]) > hi:
+            return np.empty(0, dtype=np.int64)  # rejected without decoding
+        values, _ = self.decode(buf, offset)
+        if not buf[offset + 1] & _FLAG_SORTED:
+            values = np.sort(values)
+        return sorted_query[isin_sorted(sorted_query, values)]
+
+
+class RawCodec(Codec):
+    """Fixed-width little-endian int64 values.
+
+    The universal fallback: always eligible, trivially in-situ (probes run
+    against a zero-copy view of the payload), never the smallest choice for
+    data the other codecs can represent.
+    """
+
+    tag = TAG_RAW
+    name = "raw"
+
+    @staticmethod
+    def _planned_size(n: int) -> int:
+        return 2 + uvarint_len(n) + 8 * n
+
+    def _encode_planned(self, arr: np.ndarray, is_sorted: bool) -> bytes:
+        flags = _FLAG_SORTED if is_sorted else 0
+        header = bytes([self.tag, flags]) + encode_uvarint(arr.size)
+        return header + arr.astype("<i8").tobytes()
+
+    def nbytes(self, arr: np.ndarray) -> int | None:
+        arr = _as_int64(arr)
+        return self._planned_size(arr.size)
+
+    def encode(self, arr: np.ndarray) -> bytes:
+        arr = _as_int64(arr)
+        return self._encode_planned(arr, _is_sorted(arr))
+
+    def _header(self, buf: bytes, offset: int) -> tuple[int, int, int]:
+        """``(flags, n, payload_pos)``."""
+        self._check_tag(buf, offset)
+        pos = offset + 1
+        if pos >= len(buf):
+            raise StorageError("truncated int array header")
+        flags = buf[pos]
+        n, pos = decode_uvarint(buf, pos + 1)
+        if pos + 8 * n > len(buf):
+            raise StorageError("truncated int array payload")
+        return flags, n, pos
+
+    def _view(self, buf: bytes, offset: int) -> tuple[int, np.ndarray]:
+        flags, n, pos = self._header(buf, offset)
+        return flags, np.frombuffer(buf, dtype="<i8", count=n, offset=pos)
+
+    def decode(self, buf: bytes, offset: int = 0) -> tuple[np.ndarray, int]:
+        flags, n, pos = self._header(buf, offset)
+        values = np.frombuffer(buf, dtype="<i8", count=n, offset=pos).astype(np.int64)
+        return values, pos + 8 * n
+
+    def skip(self, buf: bytes, offset: int = 0) -> int:
+        _, n, pos = self._header(buf, offset)
+        return pos + 8 * n
+
+    def bounds(self, buf: bytes, offset: int = 0) -> tuple[int, int, int]:
+        flags, view = self._view(buf, offset)
+        if view.size == 0:
+            return 0, -1, 0
+        if flags & _FLAG_SORTED:
+            return int(view[0]), int(view[-1]), view.size
+        return int(view.min()), int(view.max()), view.size
+
+    def contains_any(self, buf: bytes, offset: int, sorted_query: np.ndarray) -> bool:
+        return self.intersect(buf, offset, sorted_query).size > 0
+
+    def intersect(self, buf: bytes, offset: int, sorted_query: np.ndarray) -> np.ndarray:
+        sorted_query = _as_int64(sorted_query)
+        flags, view = self._view(buf, offset)
+        if view.size == 0 or sorted_query.size == 0:
+            return np.empty(0, dtype=np.int64)
+        values = view if flags & _FLAG_SORTED else np.sort(view)
+        if int(sorted_query[-1]) < int(values[0]) or int(sorted_query[0]) > int(values[-1]):
+            return np.empty(0, dtype=np.int64)
+        return sorted_query[isin_sorted(sorted_query, values)]
+
+
+class IntervalCodec(Codec):
+    """Run-length (interval) coding over maximal ``+1``-stride runs.
+
+    Eligible only for strictly-increasing sets of at least two cells — the
+    shape convolution / reshape / spatial operators emit.  The payload is a
+    run table (inter-run gaps and run lengths at minimal fixed width), so a
+    contiguous region of any size costs a near-constant handful of bytes,
+    and membership probes binary-search ``O(runs)`` data instead of
+    expanding ``O(cells)``.
+    """
+
+    tag = TAG_INTERVAL
+    name = "interval"
+
+    def _runs_of(
+        self, arr: np.ndarray, is_sorted: bool, d: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """``(starts, lens)`` of maximal runs, or None when ineligible.
+
+        ``is_sorted`` must come from a comparison-based check, NOT be
+        inferred from the diffs: a descending extreme-span pair can wrap
+        ``np.diff`` back to a *positive* value (e.g. ``[2**63-1, -2**63]``
+        wraps to ``+1``) and would otherwise be mistaken for a run.  For a
+        genuinely sorted array every wrapped diff is negative, so the
+        ``d < 1`` test below correctly rejects both duplicates and
+        overflowing gaps.  ``d`` may carry a precomputed ``np.diff(arr)``.
+        """
+        if arr.size < 2 or not is_sorted:
+            return None
+        if d is None:
+            d = np.diff(arr)
+        if (d < 1).any():  # duplicates or int64-overflow wrap
+            return None
+        breaks = np.flatnonzero(d != 1)
+        starts = np.empty(breaks.size + 1, dtype=np.int64)
+        starts[0] = arr[0]
+        starts[1:] = arr[breaks + 1]
+        ends = np.empty(breaks.size + 1, dtype=np.int64)
+        ends[:-1] = arr[breaks]
+        ends[-1] = arr[-1]
+        return starts, ends - starts + 1
+
+    @staticmethod
+    def _widths(starts: np.ndarray, lens: np.ndarray) -> tuple[int, int]:
+        ends = starts + lens - 1
+        gaps = starts[1:] - ends[:-1]
+        gw = _width_for(int(gaps.max()) if gaps.size else 0)
+        lw = _width_for(int((lens - 1).max()))
+        return gw, lw
+
+    @classmethod
+    def _planned_size(cls, n: int, plan: tuple[np.ndarray, np.ndarray]) -> int:
+        starts, lens = plan
+        r = starts.size
+        gw, lw = cls._widths(starts, lens)
+        return 1 + uvarint_len(n) + uvarint_len(r) + 2 + 8 + (r - 1) * gw + r * lw
+
+    def _encode_planned(
+        self, arr: np.ndarray, plan: tuple[np.ndarray, np.ndarray]
+    ) -> bytes:
+        starts, lens = plan
+        r = starts.size
+        ends = starts + lens - 1
+        gaps = starts[1:] - ends[:-1]
+        gw, lw = self._widths(starts, lens)
+        header = bytearray([self.tag])
+        header += encode_uvarint(arr.size)
+        header += encode_uvarint(r)
+        header.append(gw)
+        header.append(lw)
+        header += struct.pack("<q", int(starts[0]))
+        return (
+            bytes(header)
+            + gaps.astype(_DTYPES[gw]).tobytes()
+            + (lens - 1).astype(_DTYPES[lw]).tobytes()
+        )
+
+    def nbytes(self, arr: np.ndarray) -> int | None:
+        arr = _as_int64(arr)
+        plan = self._runs_of(arr, _is_sorted(arr))
+        return None if plan is None else self._planned_size(arr.size, plan)
+
+    def encode(self, arr: np.ndarray) -> bytes:
+        arr = _as_int64(arr)
+        plan = self._runs_of(arr, _is_sorted(arr))
+        if plan is None:
+            raise StorageError("interval codec requires a strictly-increasing set")
+        return self._encode_planned(arr, plan)
+
+    def _header(self, buf: bytes, offset: int) -> tuple[int, int, int, int, int, int]:
+        """``(n, r, gw, lw, base, payload_pos)``."""
+        self._check_tag(buf, offset)
+        n, pos = decode_uvarint(buf, offset + 1)
+        r, pos = decode_uvarint(buf, pos)
+        if n < 2 or r < 1 or r > n:
+            raise StorageError(f"bad interval run count {r} for {n} cells")
+        if pos + 2 + 8 > len(buf):
+            raise StorageError("truncated int array header")
+        gw, lw = buf[pos], buf[pos + 1]
+        if gw not in _DTYPES or lw not in _DTYPES:
+            raise StorageError(f"bad interval widths ({gw}, {lw})")
+        pos += 2
+        (base,) = struct.unpack_from("<q", buf, pos)
+        pos += 8
+        if pos + (r - 1) * gw + r * lw > len(buf):
+            raise StorageError("truncated int array payload")
+        return n, r, gw, lw, base, pos
+
+    def _run_table(
+        self, buf: bytes, offset: int
+    ) -> tuple[np.ndarray, np.ndarray, int, int]:
+        """``(starts, lens, n, next_offset)`` — O(runs), no cell expansion."""
+        n, r, gw, lw, base, pos = self._header(buf, offset)
+        gaps = np.frombuffer(buf, dtype=_DTYPES[gw], count=r - 1, offset=pos).astype(
+            np.int64
+        )
+        pos += (r - 1) * gw
+        lens = np.frombuffer(buf, dtype=_DTYPES[lw], count=r, offset=pos).astype(
+            np.int64
+        )
+        pos += r * lw
+        lens = lens + 1
+        if int(lens.sum()) != n:
+            raise StorageError("interval run lengths do not sum to the cell count")
+        starts = np.empty(r, dtype=np.int64)
+        starts[0] = base
+        if r > 1:
+            np.cumsum(lens[:-1] - 1 + gaps, out=starts[1:])
+            starts[1:] += base
+        return starts, lens, n, pos
+
+    def decode(self, buf: bytes, offset: int = 0) -> tuple[np.ndarray, int]:
+        # Expansion via one cumulative sum: stride 1 inside a run, a jump of
+        # ``gap`` where the next run begins.  (A repeat+arange expansion is
+        # ~1.5x slower on the small per-entry sets the stores decode.)
+        n, r, gw, lw, base, pos = self._header(buf, offset)
+        if r == 1:
+            end = pos + lw
+            if int.from_bytes(buf[pos:end], "little") + 1 != n:
+                raise StorageError("interval run lengths do not sum to the cell count")
+            return np.arange(base, base + n, dtype=np.int64), end
+        gaps = np.frombuffer(buf, dtype=_DTYPES[gw], count=r - 1, offset=pos)
+        pos += (r - 1) * gw
+        lens_minus_1 = np.frombuffer(buf, dtype=_DTYPES[lw], count=r, offset=pos)
+        pos += r * lw
+        # positions where run j+1 starts: cumsum(len_0..len_j) with len=lm1+1
+        boundaries = lens_minus_1[:-1].cumsum(dtype=np.int64)
+        boundaries += np.arange(1, r, dtype=np.int64)
+        if int(boundaries[-1]) + int(lens_minus_1[-1]) + 1 != n:
+            raise StorageError("interval run lengths do not sum to the cell count")
+        step = np.ones(n, dtype=np.int64)
+        step[0] = base
+        step[boundaries] = gaps  # assignment casts the narrow view in place
+        return step.cumsum(), pos
+
+    def skip(self, buf: bytes, offset: int = 0) -> int:
+        _, r, gw, lw, _, pos = self._header(buf, offset)
+        return pos + (r - 1) * gw + r * lw
+
+    def bounds(self, buf: bytes, offset: int = 0) -> tuple[int, int, int]:
+        starts, lens, n, _ = self._run_table(buf, offset)
+        return int(starts[0]), int(starts[-1] + lens[-1] - 1), n
+
+    def contains_any(self, buf: bytes, offset: int, sorted_query: np.ndarray) -> bool:
+        return self._run_mask(buf, offset, _as_int64(sorted_query)).any()
+
+    def intersect(self, buf: bytes, offset: int, sorted_query: np.ndarray) -> np.ndarray:
+        sorted_query = _as_int64(sorted_query)
+        return sorted_query[self._run_mask(buf, offset, sorted_query)]
+
+    def _run_mask(self, buf: bytes, offset: int, query: np.ndarray) -> np.ndarray:
+        if query.size == 0:
+            return np.zeros(0, dtype=bool)
+        n, r, gw, lw, base, pos = self._header(buf, offset)
+        if int(query[-1]) < base:  # header-only reject, no payload read
+            return np.zeros(query.size, dtype=bool)
+        if r == 1:
+            hi = base + int.from_bytes(buf[pos: pos + lw], "little")
+            return (query >= base) & (query <= hi)
+        gaps = np.frombuffer(buf, dtype=_DTYPES[gw], count=r - 1, offset=pos)
+        # one up-front cast: int64 arithmetic against a <u8 view would
+        # otherwise promote to float64 (binary ops) or refuse to cast
+        # (in-place ops)
+        lens_minus_1 = np.frombuffer(
+            buf, dtype=_DTYPES[lw], count=r, offset=pos + (r - 1) * gw
+        ).astype(np.int64)
+        # start_{j+1} = start_j + (len_j - 1) + gap_j
+        starts = np.empty(r, dtype=np.int64)
+        starts[0] = base
+        increments = gaps.astype(np.int64)
+        increments += lens_minus_1[:-1]
+        starts[1:] = increments.cumsum()
+        starts[1:] += base
+        ends = starts + lens_minus_1
+        run = np.searchsorted(starts, query, side="right") - 1
+        mask = run >= 0
+        mask[mask] = query[mask] <= ends[run[mask]]
+        return mask
+
+
+DELTA = DeltaCodec()
+RAW = RawCodec()
+INTERVAL = IntervalCodec()
+
+#: selection order — ties go to the earliest codec, so singletons and other
+#: size-ties keep the historical delta layout
+_PRIORITY: tuple[Codec, ...] = (DELTA, INTERVAL, RAW)
+_BY_TAG: dict[int, Codec] = {c.tag: c for c in _PRIORITY}
+
+
+def codec_for_tag(tag: int) -> Codec:
+    codec = _BY_TAG.get(tag)
+    if codec is None:
+        raise StorageError(f"bad int-array codec tag 0x{tag:02x}")
+    return codec
+
+
+def _codec_at(buf: bytes, offset: int) -> Codec:
+    if offset >= len(buf):
+        raise StorageError("truncated cell-set value")
+    return codec_for_tag(buf[offset])
+
+
+def _select(arr: np.ndarray) -> tuple[Codec, object, int]:
+    """``(codec, plan, size)``: the smallest eligible codec for ``arr`` with
+    its reusable encoding plan, analysing the array once.
+
+    Delta wins ties, and values of one cell or fewer always use delta so the
+    12-byte singleton layout that
+    :func:`repro.core.lineage_store.encode_singleton_int_arrays` emits in
+    bulk stays byte-identical.
+    """
+    n = arr.size
+    if n == 0:
+        return DELTA, None, 3
+    is_sorted = _is_sorted(arr)
+    d = np.diff(arr) if (is_sorted and n > 1) else None  # shared diff pass
+    delta_plan = DELTA._residuals(arr, is_sorted, d)
+    if n == 1:
+        return DELTA, delta_plan, DELTA._planned_size(n, delta_plan)
+    best: tuple[Codec, object, int] | None = None
+    if delta_plan is not None:
+        best = (DELTA, delta_plan, DELTA._planned_size(n, delta_plan))
+    interval_plan = INTERVAL._runs_of(arr, is_sorted, d)
+    if interval_plan is not None:
+        size = INTERVAL._planned_size(n, interval_plan)
+        if best is None or size < best[2]:
+            best = (INTERVAL, interval_plan, size)
+    raw_size = RAW._planned_size(n)
+    if best is None or raw_size < best[2]:
+        best = (RAW, is_sorted, raw_size)  # always eligible
+    return best
+
+
+def encode_cells(arr: np.ndarray) -> bytes:
+    """Serialize an int64 cell set with the smallest eligible codec."""
+    arr = _as_int64(arr)
+    codec, plan, _ = _select(arr)
+    return codec._encode_planned(arr, plan)
+
+
+def cells_nbytes(arr: np.ndarray) -> int:
+    """Exact serialized size of :func:`encode_cells` without materialising it."""
+    return _select(_as_int64(arr))[2]
+
+
+def decode_cells(buf: bytes, offset: int = 0) -> tuple[np.ndarray, int]:
+    """Inverse of :func:`encode_cells`; returns ``(array, next_offset)``."""
+    return _codec_at(buf, offset).decode(buf, offset)
+
+
+def skip_cells(buf: bytes, offset: int = 0) -> int:
+    """Offset just past the value at ``offset``, reading only its header."""
+    return _codec_at(buf, offset).skip(buf, offset)
+
+
+def decoded_bounds(buf: bytes, offset: int = 0) -> tuple[int, int, int]:
+    """``(lo, hi, count)`` of the encoded set; ``(0, -1, 0)`` when empty."""
+    return _codec_at(buf, offset).bounds(buf, offset)
+
+
+def contains_any(buf: bytes, sorted_query: np.ndarray, offset: int = 0) -> bool:
+    """Decode-free membership: does the encoded set hit ``sorted_query``?"""
+    return _codec_at(buf, offset).contains_any(buf, offset, sorted_query)
+
+
+def intersect(buf: bytes, sorted_query: np.ndarray, offset: int = 0) -> np.ndarray:
+    """The values of ``sorted_query`` present in the encoded set."""
+    return _codec_at(buf, offset).intersect(buf, offset, sorted_query)

@@ -18,7 +18,11 @@ reproduce that contract with two building blocks:
     entry that every ``FullOne`` key references).
 
 Both report their serialized footprint (:meth:`disk_bytes`) and can be
-flushed to real files so benchmarks charge honest storage costs.
+flushed to real files so benchmarks charge honest storage costs.  Values
+are opaque byte strings here — codec-tagged cell sets (see
+:mod:`repro.storage.codecs`) and legacy delta-only values flush and load
+identically, so store files written before the codec subsystem existed
+keep loading.
 """
 
 from __future__ import annotations

@@ -60,12 +60,14 @@ class RTree:
             raise StorageError("lo/hi corner arrays must have the same shape")
         if (hi < lo).any():
             raise StorageError("every box must satisfy lo <= hi")
+        if leaf_capacity < 2:
+            # validate before the empty-input early return: an invalid
+            # capacity must fail on every input, not only non-empty ones
+            raise StorageError("leaf_capacity must be at least 2")
         n, ndim = lo.shape
         if n == 0:
             empty = np.empty((0, ndim), dtype=np.int64)
             return cls([], np.empty(0, dtype=np.int64), empty, empty, ndim)
-        if leaf_capacity < 2:
-            raise StorageError("leaf_capacity must be at least 2")
         order = _str_order(lo, hi, leaf_capacity)
         data_ids = order.astype(np.int64)
         levels: list[_Level] = []

@@ -3,23 +3,35 @@
 The encoder (§VI-B) must persist *sets of cell coordinates* — which "can
 easily be larger than the original data arrays" — so the wire format matters.
 We bit-pack each coordinate into a single int64 (ravel order against the
-array shape, as the paper does for small arrays) and then store integer sets
-with a delta + minimal-fixed-width scheme:
+array shape, as the paper does for small arrays) and hand integer sets to
+the codec subsystem in :mod:`repro.storage.codecs`, which picks the smallest
+of three tagged wire formats per value (delta/var-width, run-length
+intervals, raw fixed-width) and offers decode-free membership probes over
+the encoded bytes.
 
-* sorted sets store the first value plus non-negative deltas;
-* unsorted sequences store offsets from their minimum;
-* either way the residuals are written with the narrowest of 1/2/4/8 bytes.
+:func:`encode_int_array` / :func:`decode_int_array` / :func:`int_array_nbytes`
+are kept as the historical entry points; they now dispatch on the per-value
+codec tag byte.  The legacy delta format's magic byte ``0x49`` doubles as
+that codec's tag, so values written before the codec subsystem existed
+decode unchanged.  Inputs whose span exceeds the int64 range — which used to
+make the delta residuals wrap negative and raise mid-workflow — now fall
+back to the raw codec instead of failing.
 
 Everything is vectorised with numpy; nothing here loops over cells.
 """
 
 from __future__ import annotations
 
-import struct
-
 import numpy as np
 
 from repro.errors import StorageError
+from repro.storage.codecs import (
+    cells_nbytes,
+    decode_cells,
+    decode_uvarint,
+    encode_cells,
+    encode_uvarint,
+)
 
 __all__ = [
     "encode_uvarint",
@@ -30,44 +42,6 @@ __all__ = [
     "decode_int_array",
     "int_array_nbytes",
 ]
-
-_WIDTHS = (1, 2, 4, 8)
-_DTYPES = {1: "<u1", 2: "<u2", 4: "<u4", 8: "<u8"}
-_MAGIC = 0x49  # ord('I')
-_FLAG_SORTED = 0x01
-
-
-def encode_uvarint(value: int) -> bytes:
-    """LEB128 unsigned varint."""
-    if value < 0:
-        raise StorageError(f"uvarint cannot encode negative value {value}")
-    out = bytearray()
-    while True:
-        byte = value & 0x7F
-        value >>= 7
-        if value:
-            out.append(byte | 0x80)
-        else:
-            out.append(byte)
-            return bytes(out)
-
-
-def decode_uvarint(buf: bytes, offset: int = 0) -> tuple[int, int]:
-    """Return ``(value, next_offset)``."""
-    result = 0
-    shift = 0
-    pos = offset
-    while True:
-        if pos >= len(buf):
-            raise StorageError("truncated uvarint")
-        byte = buf[pos]
-        pos += 1
-        result |= (byte & 0x7F) << shift
-        if not byte & 0x80:
-            return result, pos
-        shift += 7
-        if shift > 63:
-            raise StorageError("uvarint overflow")
 
 
 def encode_bytes(data: bytes) -> bytes:
@@ -83,85 +57,16 @@ def decode_bytes(buf: bytes, offset: int = 0) -> tuple[bytes, int]:
     return bytes(buf[pos:end]), end
 
 
-def _width_for(max_value: int) -> int:
-    for width in _WIDTHS:
-        if max_value < (1 << (8 * width)):
-            return width
-    raise StorageError(f"residual {max_value} does not fit in 8 bytes")
-
-
 def encode_int_array(arr: np.ndarray) -> bytes:
-    """Serialize an int64 array; sorted inputs compress via delta coding."""
-    arr = np.asarray(arr, dtype=np.int64).ravel()
-    n = arr.size
-    header = bytearray([_MAGIC])
-    if n == 0:
-        header.append(0)  # flags
-        header += encode_uvarint(0)
-        return bytes(header)
-    is_sorted = bool(n == 1 or (arr[1:] >= arr[:-1]).all())
-    if is_sorted:
-        base = int(arr[0])
-        residuals = np.diff(arr)
-        flags = _FLAG_SORTED
-    else:
-        base = int(arr.min())
-        residuals = arr - base
-        flags = 0
-    max_residual = int(residuals.max()) if residuals.size else 0
-    if max_residual < 0:
-        raise StorageError("negative residual in delta encoding")
-    width = _width_for(max_residual)
-    header.append(flags)
-    header += encode_uvarint(n)
-    header.append(width)
-    header += struct.pack("<q", base)
-    return bytes(header) + residuals.astype(_DTYPES[width]).tobytes()
+    """Serialize an int64 array with the smallest eligible codec."""
+    return encode_cells(arr)
 
 
 def decode_int_array(buf: bytes, offset: int = 0) -> tuple[np.ndarray, int]:
     """Inverse of :func:`encode_int_array`; returns ``(array, next_offset)``."""
-    if offset >= len(buf) or buf[offset] != _MAGIC:
-        raise StorageError("bad int-array magic byte")
-    pos = offset + 1
-    flags = buf[pos]
-    pos += 1
-    n, pos = decode_uvarint(buf, pos)
-    if n == 0:
-        return np.empty(0, dtype=np.int64), pos
-    width = buf[pos]
-    pos += 1
-    if width not in _DTYPES:
-        raise StorageError(f"bad residual width {width}")
-    (base,) = struct.unpack_from("<q", buf, pos)
-    pos += 8
-    count = n - 1 if flags & _FLAG_SORTED else n
-    end = pos + count * width
-    if end > len(buf):
-        raise StorageError("truncated int array payload")
-    residuals = np.frombuffer(buf, dtype=_DTYPES[width], count=count, offset=pos).astype(
-        np.int64
-    )
-    if flags & _FLAG_SORTED:
-        out = np.empty(n, dtype=np.int64)
-        out[0] = base
-        if count:
-            np.cumsum(residuals, out=out[1:])
-            out[1:] += base
-    else:
-        out = residuals + base
-    return out, end
+    return decode_cells(buf, offset)
 
 
 def int_array_nbytes(arr: np.ndarray) -> int:
     """Serialized size without materialising the bytes (used by cost model)."""
-    arr = np.asarray(arr, dtype=np.int64).ravel()
-    n = arr.size
-    if n == 0:
-        return 2 + 1
-    is_sorted = bool(n == 1 or (arr[1:] >= arr[:-1]).all())
-    residuals = np.diff(arr) if is_sorted else arr - int(arr.min())
-    max_residual = int(residuals.max()) if residuals.size else 0
-    width = _width_for(max_residual)
-    count = n - 1 if is_sorted else n
-    return 2 + len(encode_uvarint(n)) + 1 + 8 + count * width
+    return cells_nbytes(arr)

@@ -101,13 +101,38 @@ class WriteAheadLog:
             self._fh.close()
             self._fh = None
 
+    # Deterministic handle lifetime: ``with WriteAheadLog(path) as wal: ...``
+    # (and ``with WriteAheadLog.replay(path) as wal: ...``) always closes.
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     @classmethod
-    def replay(cls, path: str) -> "WriteAheadLog":
-        """Rebuild an in-memory log from a file (crash-recovery path)."""
-        log = cls()
+    def replay(cls, path: str, reopen: bool = True, sync: bool = False) -> "WriteAheadLog":
+        """Rebuild a log from a file (crash-recovery path).
+
+        By default the file is reopened in append mode so records appended
+        *after* recovery keep being persisted — a replayed log used to come
+        back with no file handle, silently dropping post-recovery appends.
+        Pass ``reopen=False`` for a read-only, in-memory reconstruction.
+        """
+        records = []
+        raw = ""
         with open(path, encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if line:
-                    log._records.append(InvocationRecord.from_json(line))
+            raw = fh.read()
+        for line in raw.splitlines():
+            line = line.strip()
+            if line:
+                records.append(InvocationRecord.from_json(line))
+        log = cls(path=path if reopen else None, sync=sync)
+        log._records = records
+        if log._fh is not None and raw and not raw.endswith("\n"):
+            # a crash can tear the trailing newline off the last record;
+            # terminate it so the next append starts a fresh line instead
+            # of merging two records into one corrupt line
+            log._fh.write("\n")
+            log._fh.flush()
         return log

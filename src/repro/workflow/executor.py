@@ -93,7 +93,9 @@ def execute_workflow(
         )
         produced[node_name] = version.version_id
 
-        lineage_seconds = runtime.ingest(node_name, sink)
+        lineage_seconds = runtime.ingest(
+            node_name, sink, out_shape=op.output_shape, in_shapes=op.input_shapes
+        )
         runtime.stats.record_run(
             node_name,
             compute_seconds,

@@ -64,6 +64,50 @@ class TestCostModel:
         model = CostModel(stats)
         assert model.disk_bytes("udf", FULL_ONE_B) == 12345
 
+    def test_codec_sampled_bytes_shrink_full_estimates(self):
+        """Sampled interval-coded footprints (e.g. convolution lineage at
+        ~2 bytes/cell) must flow into the Full estimates in place of the
+        flat enc_cell_bytes constant."""
+        flat = CostModel(seeded_stats(fanin=25))
+        sampled_stats = seeded_stats(fanin=25)
+        s = sampled_stats.get("udf")
+        s.enc_in_bytes = 2 * s.n_incells  # codec-priced: ~2 bytes per cell
+        sampled = CostModel(sampled_stats)
+        for strategy in (FULL_ONE_B, FULL_MANY_B):
+            assert sampled.disk_bytes("udf", strategy) < flat.disk_bytes(
+                "udf", strategy
+            )
+        # forward stores encode output cells; input-side sampling alone
+        # must not change them
+        assert sampled.disk_bytes("udf", FULL_ONE_F) == flat.disk_bytes(
+            "udf", FULL_ONE_F
+        )
+
+    def test_record_sink_prices_contiguous_lineage_below_constant(self):
+        """record_sink with shapes prices pairs through int_array_nbytes;
+        contiguous regions interval-code far below 9 bytes/cell."""
+        from repro.core.model import BufferSink, RegionPair
+
+        shape = (32, 32)
+        sink = BufferSink()
+        for row in range(8):
+            block = np.stack(
+                [np.full(32, row, dtype=np.int64), np.arange(32, dtype=np.int64)],
+                axis=1,
+            )
+            sink.add_pair(RegionPair(outcells=block[:1], incells=(block,)))
+        stats = StatsCollector()
+        stats.record_sink("conv", sink, out_shape=shape, in_shapes=(shape,))
+        s = stats.get("conv")
+        assert s.enc_in_bytes > 0
+        assert s.enc_in_bytes_per_cell < 2.0  # 32-cell runs: ~0.5 bytes/cell
+        assert s.enc_out_bytes_per_cell == 12.0  # singleton layout per pair
+        # a later shape-less record_sink overwrites the denominators; the
+        # codec samples must reset rather than describe the previous sink
+        stats.record_sink("conv", sink)
+        assert stats.get("conv").enc_in_bytes == 0
+        assert stats.get("conv").enc_in_bytes_per_cell is None
+
     def test_matched_query_cheaper_than_mismatched(self):
         model = CostModel(seeded_stats())
         matched = model.query_seconds("udf", FULL_ONE_B, True, 100)

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.arrays import coords as C
 from repro.core.lineage_store import (
@@ -76,6 +78,23 @@ class TestSingletonEncoding:
         for row, v in zip(rows, values):
             assert row.tobytes() == ser.encode_int_array(np.asarray([v]))
 
+    @given(st.lists(st.integers(-(2**63), 2**63 - 1), max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_twelve_byte_layout_is_stable(self, values):
+        """The bulk singleton encoder hard-codes the 12-byte delta layout;
+        codec selection must keep emitting it for every single-element
+        array (negatives and int64 extremes included) or bulk-written
+        entries would diverge from scalar-encoded ones."""
+        arr = np.asarray(values, dtype=np.int64)
+        rows = encode_singleton_int_arrays(arr)
+        assert rows.shape == (arr.size, 12)
+        for row, v in zip(rows, arr):
+            scalar = ser.encode_int_array(np.asarray([v], dtype=np.int64))
+            assert len(scalar) == 12
+            assert row.tobytes() == scalar
+            decoded, pos = ser.decode_int_array(row.tobytes())
+            assert decoded.tolist() == [v] and pos == 12
+
     def test_full_value_roundtrip(self):
         per_input = [np.asarray([3, 1, 2]), np.asarray([9])]
         buf = encode_full_value(per_input)
@@ -143,6 +162,54 @@ class TestRegionEntryTable:
         assert table.all_singleton_keys() is not None
         table.add_entry(pk((2, 2), (3, 3)), b"y")
         assert table.all_singleton_keys() is None
+
+    def test_in_situ_value_probes(self):
+        """value_contains_any / value_intersect / value_bounds answer from
+        the encoded bytes without slicing or decoding entry values."""
+        table = RegionEntryTable(OUT_SHAPE)
+        cells_a = np.sort(pk((1, 1), (1, 2), (1, 3)))
+        cells_b = np.sort(pk((4, 0), (5, 7)))
+        table.add_entry(pk((0, 0)), ser.encode_int_array(cells_a))
+        table.add_entry(pk((2, 2)), ser.encode_int_array(cells_b))
+        query = np.sort(pk((1, 2), (5, 7)))
+        assert table.value_contains_any(0, query)
+        assert table.value_contains_any(1, query)
+        assert not table.value_contains_any(0, np.sort(pk((0, 5))))
+        assert table.value_intersect(0, query).tolist() == [pk((1, 2))[0]]
+        lo, hi, n = table.value_bounds(0)
+        assert (lo, hi, n) == (int(cells_a[0]), int(cells_a[-1]), 3)
+
+    def test_in_situ_probes_with_multi_field_values(self):
+        """field= skips preceding per-input cell sets inside one value."""
+        table = RegionEntryTable(OUT_SHAPE)
+        in0 = np.sort(pk((0, 1), (0, 2)))
+        in1 = np.sort(pk((3, 3)))
+        table.add_entry(pk((5, 5)), encode_full_value([in0, in1]))
+        assert table.value_contains_any(0, in0, field=0)
+        assert not table.value_contains_any(0, in0, field=1)
+        assert table.value_contains_any(0, in1, field=1)
+        assert table.value_bounds(0, field=1)[2] == 1
+
+    def test_probe_field_out_of_range_raises(self):
+        """A field index past the entry's own value must fail loudly, not
+        silently probe the next entry's bytes."""
+        table = RegionEntryTable(OUT_SHAPE)
+        table.add_entry(pk((0, 0)), ser.encode_int_array(np.sort(pk((1, 1)))))
+        table.add_entry(pk((2, 2)), ser.encode_int_array(np.sort(pk((3, 3)))))
+        with pytest.raises(StorageError):
+            table.value_contains_any(0, np.sort(pk((3, 3))), field=1)
+
+    def test_probe_rejects_value_overrunning_entry(self):
+        """A value whose header claims more payload than the entry holds
+        (bit rot after load) must raise, not read the next entry's bytes."""
+        good = ser.encode_int_array(np.sort(pk((1, 1), (1, 2))))
+        overstated = bytearray(good)
+        overstated[2] = 9  # inflate the cell count past the payload
+        table = RegionEntryTable(OUT_SHAPE)
+        table.add_entry(pk((0, 0)), bytes(overstated))
+        table.add_entry(pk((2, 2)), ser.encode_int_array(np.sort(pk((3, 3)))))
+        with pytest.raises(StorageError):
+            table.value_contains_any(0, np.sort(pk((1, 1))))
 
 
 class TestMakeStore:

@@ -72,6 +72,28 @@ class TestRegionEntryTableRoundtrip:
         table.flush(path)
         assert RegionEntryTable.load(path, SHAPE).n_entries == 0
 
+    def test_pre_codec_flushed_values_still_load_and_probe(self, tmp_path):
+        """A table flushed before the codec subsystem existed holds only
+        legacy delta-tagged values; loading must decode them and the new
+        in-situ probes must answer over them unchanged."""
+        from repro.storage import codecs
+
+        in_cells = np.sort(C.pack_coords(cells((2, 2), (2, 3), (2, 4)), SHAPE))
+        legacy_value = codecs.DELTA.encode(in_cells)  # the only seed format
+        table = RegionEntryTable(SHAPE)
+        table.add_entry(C.pack_coords(cells((0, 0), (0, 1)), SHAPE), legacy_value)
+        path = str(tmp_path / "legacy.bin")
+        table.flush(path)
+
+        from repro.storage import serialize as ser
+
+        loaded = RegionEntryTable.load(path, SHAPE)
+        assert loaded.entry_value(0) == legacy_value
+        decoded, _ = ser.decode_int_array(loaded.entry_value(0))
+        assert (decoded == in_cells).all()
+        assert loaded.value_contains_any(0, in_cells[:1])
+        assert loaded.value_bounds(0) == (int(in_cells[0]), int(in_cells[-1]), 3)
+
 
 @pytest.mark.parametrize(
     "strategy",

@@ -215,3 +215,32 @@ class TestStepStats:
         assert res.steps[0].cells_in == 1
         assert res.seconds >= 0
         assert res.count == res.frontier.count
+
+    def test_healthy_stores_drop_nothing(self, image):
+        sz = SubZero(build_spot_spec(), enable_query_opt=False)
+        sz.use_mapping_where_possible()
+        sz.set_strategy("spot", FULL_ONE_B)
+        sz.run({"img": image})
+        res = sz.backward_query([(4, 4)], [("scale", 0), ("spot", 0), ("smooth", 0)])
+        assert all(s.dropped_cells == 0 for s in res.steps)
+        assert "dropped=" not in res.explain()
+
+    def test_out_of_range_cells_are_counted_not_masked(self, image, monkeypatch):
+        """A store returning cells outside the target array used to have
+        them clipped silently; the count now surfaces on StepStats."""
+        sz = SubZero(build_spot_spec(), enable_query_opt=False)
+        sz.use_mapping_where_possible()
+        sz.set_strategy("spot", FULL_ONE_B)
+        sz.run({"img": image})
+        store = sz.runtime.store_for("spot", FULL_ONE_B)
+        real = store.backward_full
+        bogus = np.asarray([10**9, -5], dtype=np.int64)
+
+        def corrupted(qpacked):
+            matched, per_input = real(qpacked)
+            return matched, [np.concatenate([c, bogus]) for c in per_input]
+
+        monkeypatch.setattr(store, "backward_full", corrupted)
+        res = sz.backward_query([(4, 4)], [("spot", 0)])
+        assert res.steps[0].dropped_cells == 2
+        assert "dropped=2" in res.explain()

@@ -77,6 +77,14 @@ class TestRTreeBasics:
         with pytest.raises(StorageError):
             RTree.build(np.asarray([[0, 0]]), np.asarray([[1]]))
 
+    def test_invalid_capacity_rejected_on_empty_input(self):
+        """The capacity check used to sit after the empty early return, so a
+        bad capacity passed silently when the input happened to be empty."""
+        with pytest.raises(StorageError):
+            RTree.build(np.empty((0, 2)), np.empty((0, 2)), leaf_capacity=1)
+        with pytest.raises(StorageError):
+            RTree.build(np.empty((0, 2)), np.empty((0, 2)), leaf_capacity=0)
+
     def test_wrong_query_rank(self):
         tree = RTree.from_points(np.asarray([[1, 1]]))
         with pytest.raises(StorageError):

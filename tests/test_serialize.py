@@ -72,9 +72,29 @@ class TestIntArray:
         )
 
     def test_sorted_deltas_use_single_byte(self):
-        arr = np.arange(100, dtype=np.int64)
-        # header: magic+flags+count(1)+width(1)+base(8) = 12, then 99 deltas
+        arr = np.arange(100, dtype=np.int64) * 2  # stride 2: delta still wins
+        # header: tag+flags+count(1)+width(1)+base(8) = 12, then 99 deltas
         assert len(ser.encode_int_array(arr)) == 12 + 99
+
+    def test_contiguous_arrays_interval_code(self):
+        arr = np.arange(100, dtype=np.int64)
+        buf = ser.encode_int_array(arr)
+        # one run: tag+count(1)+runs(1)+widths(2)+base(8)+len(1) = 14 bytes
+        assert len(buf) == 14
+        out, pos = ser.decode_int_array(buf)
+        assert (out == arr).all() and pos == len(buf)
+
+    def test_int64_span_overflow_falls_back_to_raw(self):
+        # np.diff wraps negative across the full int64 span; the encoder
+        # used to raise StorageError mid-workflow, now it raw-codes.
+        for arr in (
+            np.asarray([-(2**63), 2**63 - 1], dtype=np.int64),
+            np.asarray([2**63 - 1, -(2**63), 17], dtype=np.int64),
+        ):
+            buf = ser.encode_int_array(arr)
+            out, pos = ser.decode_int_array(buf)
+            assert (out == arr).all() and pos == len(buf)
+            assert ser.int_array_nbytes(arr) == len(buf)
 
     def test_decode_offset_chaining(self):
         a = np.asarray([1, 2, 3], dtype=np.int64)
