@@ -40,6 +40,9 @@ __all__ = [
     "validate_coords",
     "empty_coords",
     "all_coords",
+    "expand_ranges",
+    "isin_sorted",
+    "unique_coords",
 ]
 
 
@@ -169,6 +172,30 @@ def clip_coords(coords: np.ndarray, shape: Sequence[int]) -> np.ndarray:
     shape_arr = np.asarray(shape, dtype=np.int64)
     keep = ((arr >= 0) & (arr < shape_arr)).all(axis=1)
     return arr[keep]
+
+
+def expand_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate the integer ranges ``[starts[i], starts[i] + counts[i])``.
+
+    One cumulative sum instead of a Python loop: the step is 1 inside a
+    range and jumps to the next start where a new range begins.  Shared by
+    the batch-probe scan engine and the columnar stores for gathering many
+    variable-length slices at once.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    keep = counts > 0
+    starts = starts[keep]
+    counts = counts[keep]
+    step = np.ones(total, dtype=np.int64)
+    step[0] = starts[0]
+    if starts.size > 1:
+        begin = np.cumsum(counts)[:-1]
+        step[begin] = starts[1:] - (starts[:-1] + counts[:-1] - 1)
+    return np.cumsum(step)
 
 
 def isin_sorted(values: np.ndarray, sorted_array: np.ndarray) -> np.ndarray:

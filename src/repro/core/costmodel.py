@@ -37,7 +37,8 @@ class CostConstants:
 
     hash_probe_s: float = 2.0e-6  # per query cell, direct hash lookup
     rtree_probe_s: float = 2.5e-5  # per query cell, spatial index descent
-    scan_entry_s: float = 1.5e-6  # per stored entry, mismatched-index cursor
+    scan_entry_s: float = 1.5e-6  # per stored entry, per-entry cursor (payload scans)
+    batch_entry_s: float = 4.0e-7  # per stored entry, vectorised batch-scan pass
     decode_cell_s: float = 6.0e-8  # per lineage cell materialised
     map_cell_s: float = 4.0e-7  # per cell through a mapping function
     payload_apply_s: float = 3.0e-6  # per payload group expanded via map_p
@@ -91,6 +92,16 @@ class CostConstants:
                 break
         scan_entry = (time.perf_counter() - start) / max(1, count)
 
+        # the batch-scan engine's per-entry cost: one vectorised membership
+        # pass over the whole segment instead of a per-entry cursor
+        from repro.arrays.coords import isin_sorted
+
+        _, seg_values = store.items_fixed()
+        sorted_probe = np.sort(probe_keys)
+        start = time.perf_counter()
+        isin_sorted(seg_values, sorted_probe)
+        batch_entry = (time.perf_counter() - start) / max(1, seg_values.size)
+
         start = time.perf_counter()
         shape = (2000, 2000)
         coords = np.stack([keys % 2000, (keys // 2000) % 2000], axis=1)
@@ -104,6 +115,7 @@ class CostConstants:
             hash_probe_s=max(hash_probe, 1e-8),
             rtree_probe_s=max(rtree_probe, 1e-7),
             scan_entry_s=max(scan_entry, 1e-8),
+            batch_entry_s=max(batch_entry, 1e-10),
             map_cell_s=max(map_cell, 1e-9),
             decode_cell_s=base.decode_cell_s,
             payload_apply_s=base.payload_apply_s,
@@ -144,8 +156,9 @@ class CostModel:
         The value side of the Full layouts is priced with the codec-aware
         per-cell footprint the stats collector sampled through
         ``int_array_nbytes`` — so an operator whose lineage interval-codes
-        (convolution, reshape) budgets at its real compressed size — with
-        the flat ``enc_cell_bytes`` constant as the pre-profiling fallback.
+        (convolution, reshape) or bitmap-codes (dense-but-ragged masks)
+        budgets at its real compressed size — with the flat
+        ``enc_cell_bytes`` constant as the pre-profiling fallback.
         """
         if not strategy.stores_pairs:
             return 0.0
@@ -241,7 +254,11 @@ class CostModel:
             matched = (strategy.orientation is Orientation.BACKWARD) == direction_backward
             if matched:
                 return n * probe + n * fanin * k.decode_cell_s
-            return entries * k.scan_entry_s + entries * k.decode_cell_s
+            # mismatched orientation: the batch-scan engine answers every
+            # entry in a few vectorised passes, so the per-entry constant is
+            # far below the per-entry cursor cost (the decode term prices
+            # the one-off lowering of the value heap, amortised over scans)
+            return entries * (k.batch_entry_s + k.decode_cell_s)
         # payload / composite strategies are always backward-optimized
         if direction_backward:
             cost = n * probe + n * k.payload_apply_s

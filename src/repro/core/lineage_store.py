@@ -24,11 +24,18 @@ Every store is *oriented*: backward-optimized stores key by output cells,
 forward-optimized ones key by input cells (one sub-store per input array,
 since cells of different inputs would collide after bit-packing).  Queries
 against the matching orientation are hash probes / R-tree descents; queries
-against the wrong orientation fall back to a cursor scan over every entry —
-the expensive mismatch the paper measures in Figure 6(b).  Those scans no
-longer decode every entry value: they probe the encoded bytes in situ via
-:mod:`repro.storage.codecs` (``contains_any`` / ``intersect``), so an entry
-is accepted or rejected without materialising its full cell array.
+against the wrong orientation fall back to a scan over every entry — the
+expensive mismatch the paper measures in Figure 6(b).  Those scans are
+*batched*: instead of probing each entry's value in a Python loop, the
+whole value heap is handed to :class:`repro.storage.codecs.BatchProbe`,
+which groups entries by codec tag and answers per-entry verdicts or
+intersections in a handful of vectorised passes (and its lowered tables are
+cached on the :class:`RegionEntryTable`, so repeat scans skip the header
+walk entirely).  The fixed-width hash layouts scan the same way, via one
+``isin_sorted`` pass over their key/value vectors.  Matched backward reads
+are in-situ too: candidate key sets are matched with one concatenated
+``searchsorted`` pass, and only the hit entries' values — and only the
+requested input's field — are ever decoded.
 
 All public methods speak *packed* coordinates (int64, see
 :mod:`repro.arrays.coords`).
@@ -104,6 +111,7 @@ class RegionEntryTable:
         self._lo: np.ndarray | None = None
         self._hi: np.ndarray | None = None
         self._rtree: RTree | None = None
+        self._probes: dict[int, codecs.BatchProbe] = {}
         self._dirty = False
 
     # -- writes ----------------------------------------------------------------
@@ -167,6 +175,7 @@ class RegionEntryTable:
         self._vbuf, self._voff = vbuf, voff
         self._lo, self._hi = lo, hi
         self._rtree = RTree.build(lo, hi)
+        self._probes = {}  # lowered batch-probe tables describe the old heap
         self._key_chunks, self._klen_chunks = [], []
         self._val_chunks, self._vlen_chunks = [], []
         self._dirty = False
@@ -213,6 +222,35 @@ class RegionEntryTable:
         self.finalize()
         return self._keys[self._koff[entry_id]: self._koff[entry_id + 1]]
 
+    def entries_keys(self, entry_ids: np.ndarray) -> np.ndarray:
+        """Concatenated key cells of many entries in one vectorised gather."""
+        self.finalize()
+        entry_ids = np.asarray(entry_ids, dtype=np.int64)
+        if self._koff is None or entry_ids.size == 0:
+            return np.empty(0, dtype=np.int64)
+        starts = self._koff[entry_ids]
+        counts = self._koff[entry_ids + 1] - starts
+        return self._keys[C.expand_ranges(starts, counts)]
+
+    def match_keys(
+        self, entry_ids: np.ndarray, sorted_query: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(hit, hit_cells)``: which of ``entry_ids`` have any key cell in
+        ``sorted_query``, and the matching key cells themselves — one
+        concatenated membership pass instead of a per-entry ``isin``."""
+        self.finalize()
+        entry_ids = np.asarray(entry_ids, dtype=np.int64)
+        if self._koff is None or entry_ids.size == 0:
+            return np.zeros(entry_ids.size, dtype=bool), np.empty(0, dtype=np.int64)
+        starts = self._koff[entry_ids]
+        counts = self._koff[entry_ids + 1] - starts
+        keys = self._keys[C.expand_ranges(starts, counts)]
+        member = C.isin_sorted(keys, sorted_query)
+        owner = np.repeat(np.arange(entry_ids.size, dtype=np.int64), counts)
+        hit = np.zeros(entry_ids.size, dtype=bool)
+        hit[owner[member]] = True
+        return hit, keys[member]
+
     def entry_value(self, entry_id: int) -> bytes:
         self.finalize()
         return self._vbuf[self._voff[entry_id]: self._voff[entry_id + 1]]
@@ -221,25 +259,54 @@ class RegionEntryTable:
     #
     # Valid only for tables whose values are codec-encoded cell sets (the
     # Full layouts); ``field`` skips over preceding sets when a value holds
-    # one per input array.  None of these slice or decode the value buffer.
+    # one per input array.  None of these slice the value buffer.
 
-    def iter_entry_ids(self) -> range:
+    def batch_probe(self, field: int = 0, ticker=None) -> codecs.BatchProbe:
+        """Vectorised prober over every entry's cell-set ``field``.
+
+        Built over the shared value heap (no per-entry byte slicing) and
+        cached until new entries are finalized, so a scan's per-entry
+        verdicts cost a few NumPy passes — and repeat scans skip even the
+        header walk.  ``ticker`` is called once per entry during the cold
+        field-offset walk (``field > 0``), so a query-time budget can
+        interrupt it.
+        """
         self.finalize()
-        return range(self._koff.size - 1) if self._koff is not None else range(0)
+        probe = self._probes.get(field)
+        if probe is None:
+            if self._voff is None:
+                offsets = np.empty(0, dtype=np.int64)
+                ends = offsets
+            elif field == 0:
+                offsets, ends = self._voff[:-1], self._voff[1:]
+            else:
+                offsets = np.empty(self._voff.size - 1, dtype=np.int64)
+                for e in range(offsets.size):
+                    if ticker is not None:
+                        ticker()
+                    offsets[e] = self._value_offset(e, field)
+                ends = self._voff[1:]
+            probe = codecs.BatchProbe(self._vbuf, offsets, ends)
+            self._probes[field] = probe
+        return probe
+
+    def value_cells(self, entry_id: int, field: int = 0) -> np.ndarray:
+        """Decode one cell-set field of the entry value in place."""
+        offset = self._value_offset(entry_id, field)  # finalizes first
+        cells, _ = codecs.decode_cells(self._vbuf, offset)
+        return cells
 
     def _value_offset(self, entry_id: int, field: int) -> int:
         self.finalize()
-        offset = int(self._voff[entry_id])
+        start = int(self._voff[entry_id])
         end = int(self._voff[entry_id + 1])
-        for _ in range(field):
-            if offset >= end:
-                break
-            offset = codecs.skip_cells(self._vbuf, offset)
         # never read into the next entry's bytes: a wrong field count or a
         # value whose header overstates its payload must fail loudly, not
         # probe a neighbouring value
-        if offset >= end:
-            raise StorageError(f"entry {entry_id} has no cell-set field {field}")
+        try:
+            offset = codecs.skip_fields(self._vbuf, start, end, field)
+        except StorageError as exc:
+            raise StorageError(f"entry {entry_id}: {exc}") from None
         if codecs.skip_cells(self._vbuf, offset) > end:
             raise StorageError(
                 f"entry {entry_id} field {field} overruns the entry value"
@@ -423,7 +490,15 @@ class OpLineageStore:
 
     # -- matched-orientation reads -------------------------------------------
 
-    def backward_full(self, qpacked: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+    def backward_full(
+        self, qpacked: np.ndarray, only_input: int | None = None
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        """``(matched, per_input)`` lineage of the query cells.
+
+        ``only_input`` restricts value decoding to one input's field — the
+        other slots of ``per_input`` come back empty — so a query step that
+        follows a single edge never materialises the sibling inputs' cells.
+        """
         raise LineageError(f"{self.strategy.label} cannot serve backward_full")
 
     def forward_full(self, qpacked: np.ndarray, input_idx: int) -> np.ndarray:
@@ -515,47 +590,46 @@ class _FullBackwardOne(OpLineageStore):
             out_packed = C.pack_coords(pair.outcells, self.out_shape)
             self._refs.put_many_fixed(out_packed, np.full(out_packed.size, ref))
 
-    def backward_full(self, qpacked):
+    def backward_full(self, qpacked, only_input=None):
         matched = np.zeros(qpacked.size, dtype=bool)
         per_input: list[list[np.ndarray]] = [[] for _ in range(self.arity)]
         for i, store in enumerate(self._direct):
             qidx, cells = store.lookup_refs(qpacked)
             if qidx.size:
                 matched[qidx] = True
-                per_input[i].append(cells)
+                if only_input is None or i == only_input:
+                    per_input[i].append(cells)
         qidx, refs = self._refs.lookup_refs(qpacked)
         if qidx.size:
             matched[qidx] = True
             for ref in np.unique(refs):
-                for i, cells in enumerate(
-                    decode_full_value(self._blobs.get(int(ref)), self.arity)
-                ):
-                    per_input[i].append(cells)
+                blob = self._blobs.get(int(ref))
+                if only_input is None:
+                    for i, cells in enumerate(decode_full_value(blob, self.arity)):
+                        per_input[i].append(cells)
+                else:
+                    per_input[only_input].append(
+                        _decode_value_field(blob, only_input)
+                    )
         return matched, [_concat(parts) for parts in per_input]
 
     def scan_forward_full(self, qpacked, input_idx, ticker=None):
         query = np.sort(qpacked)
-        hits: list[int] = []
-        for out_key, value in self._direct[input_idx].scan():
-            if ticker is not None:
-                ticker()
-            in_cell = int(np.frombuffer(value, dtype="<i8")[0])
-            if _in_sorted(query, in_cell):
-                hits.append(out_key)
-        verdicts: dict[int, bool] = {}
-        for out_key, value in self._refs.scan():
-            if ticker is not None:
-                ticker()
-            ref = int(np.frombuffer(value, dtype="<i8")[0])
-            if ref not in verdicts:
-                blob = self._blobs.get(ref)
-                offset = 0
-                for _ in range(input_idx):
-                    offset = codecs.skip_cells(blob, offset)
-                verdicts[ref] = codecs.contains_any(blob, query, offset)
-            if verdicts[ref]:
-                hits.append(out_key)
-        return np.asarray(sorted(set(hits)), dtype=np.int64)
+        parts: list[np.ndarray] = []
+        out_keys, in_cells = self._direct[input_idx].items_fixed()
+        if out_keys.size:
+            parts.append(out_keys[C.isin_sorted(in_cells, query)])
+        if ticker is not None:
+            ticker()
+        ref_keys, refs = self._refs.items_fixed()
+        if ref_keys.size:
+            # one vectorised pass over the blob heap; refs are blob ids, so
+            # the per-blob verdicts index straight into the ref rows
+            verdicts = self._blobs.batch_probe(
+                field=input_idx, ticker=ticker
+            ).contains_any(query, ticker)
+            parts.append(ref_keys[verdicts[refs]])
+        return np.unique(_concat(parts))
 
     def disk_bytes(self) -> int:
         total = self._refs.disk_bytes() + self._blobs.disk_bytes()
@@ -604,24 +678,17 @@ class _FullBackwardMany(OpLineageStore):
             )
             self._table.add_entry(C.pack_coords(pair.outcells, self.out_shape), value)
 
-    def backward_full(self, qpacked):
+    def backward_full(self, qpacked, only_input=None):
         query_sorted = np.sort(qpacked)
         coords = C.unpack_coords(qpacked, self.out_shape)
         per_input: list[list[np.ndarray]] = [[] for _ in range(self.arity)]
-        matched_cells: list[np.ndarray] = []
-        for entry_id in self.candidate_entries(coords):
-            keys = self._table.entry_keys(int(entry_id))
-            hit = keys[C.isin_sorted(keys, query_sorted)]
-            if hit.size == 0:
-                continue
-            matched_cells.append(hit)
-            value = decode_full_value(
-                self._table.entry_value(int(entry_id)), self.arity
-            )
-            for i, cells in enumerate(value):
-                per_input[i].append(cells)
-        matched_set = _concat(matched_cells)
-        matched = np.isin(qpacked, matched_set)
+        candidates = self.candidate_entries(coords)
+        hit, hit_cells = self._table.match_keys(candidates, query_sorted)
+        fields = range(self.arity) if only_input is None else (only_input,)
+        for entry_id in candidates[hit]:
+            for i in fields:
+                per_input[i].append(self._table.value_cells(int(entry_id), field=i))
+        matched = np.isin(qpacked, hit_cells)
         return matched, [_concat(parts) for parts in per_input]
 
     def candidate_entries(self, coords: np.ndarray) -> np.ndarray:
@@ -629,13 +696,10 @@ class _FullBackwardMany(OpLineageStore):
 
     def scan_forward_full(self, qpacked, input_idx, ticker=None):
         query = np.sort(qpacked)
-        hits: list[np.ndarray] = []
-        for entry_id in self._table.iter_entry_ids():
-            if ticker is not None:
-                ticker()
-            if self._table.value_contains_any(entry_id, query, field=input_idx):
-                hits.append(self._table.entry_keys(entry_id))
-        return np.unique(_concat(hits)) if hits else np.empty(0, dtype=np.int64)
+        verdicts = self._table.batch_probe(
+            field=input_idx, ticker=ticker
+        ).contains_any(query, ticker)
+        return np.unique(self._table.entries_keys(np.flatnonzero(verdicts)))
 
     def disk_bytes(self) -> int:
         return self._table.disk_bytes()
@@ -699,29 +763,30 @@ class _FullForwardOne(OpLineageStore):
 
     def scan_backward_full(self, qpacked, ticker=None):
         query = np.sort(qpacked)
-        matched_cells: list[int] = []
+        matched_cells: list[np.ndarray] = []
         per_input: list[list[np.ndarray]] = [[] for _ in range(self.arity)]
-        intersections: dict[int, np.ndarray] = {}
+        # one vectorised intersect pass over the shared blob heap, reused by
+        # every input's ref store (hit_ids ascending, blobs keyed by id)
+        hit_ids, intersections = self._blobs.batch_probe().intersect(query, ticker)
+        inter_by_blob = dict(zip(hit_ids.tolist(), intersections))
         for i in range(self.arity):
-            for in_key, value in self._direct[i].scan():
-                if ticker is not None:
-                    ticker()
-                out_cell = int(np.frombuffer(value, dtype="<i8")[0])
-                if _in_sorted(query, out_cell):
-                    matched_cells.append(out_cell)
-                    per_input[i].append(np.asarray([in_key], dtype=np.int64))
-            for in_key, value in self._refs[i].scan():
-                if ticker is not None:
-                    ticker()
-                ref = int(np.frombuffer(value, dtype="<i8")[0])
-                if ref not in intersections:
-                    intersections[ref] = codecs.intersect(self._blobs.get(ref), query)
-                inter = intersections[ref]
-                if inter.size:
-                    matched_cells.extend(int(c) for c in inter)
-                    per_input[i].append(np.asarray([in_key], dtype=np.int64))
-        matched_set = np.asarray(sorted(set(matched_cells)), dtype=np.int64)
-        matched = np.isin(qpacked, matched_set)
+            in_keys, out_cells = self._direct[i].items_fixed()
+            if in_keys.size:
+                member = C.isin_sorted(out_cells, query)
+                if member.any():
+                    matched_cells.append(out_cells[member])
+                    per_input[i].append(in_keys[member])
+            in_keys, refs = self._refs[i].items_fixed()
+            if in_keys.size and hit_ids.size:
+                member = C.isin_sorted(refs, hit_ids)
+                if member.any():
+                    per_input[i].append(in_keys[member])
+                    matched_cells.extend(
+                        inter_by_blob[int(r)] for r in np.unique(refs[member])
+                    )
+            if ticker is not None:
+                ticker()
+        matched = np.isin(qpacked, _concat(matched_cells))
         return matched, [_concat(parts) for parts in per_input]
 
     def disk_bytes(self) -> int:
@@ -791,15 +856,11 @@ class _FullForwardMany(OpLineageStore):
         matched_cells: list[np.ndarray] = []
         per_input: list[list[np.ndarray]] = [[] for _ in range(self.arity)]
         for i, table in enumerate(self._tables):
-            for entry_id in table.iter_entry_ids():
-                if ticker is not None:
-                    ticker()
-                inter = table.value_intersect(entry_id, query)
-                if inter.size:
-                    matched_cells.append(inter)
-                    per_input[i].append(table.entry_keys(entry_id))
-        matched_set = _concat(matched_cells)
-        matched = np.isin(qpacked, matched_set)
+            hit_ids, intersections = table.batch_probe().intersect(query, ticker)
+            if hit_ids.size:
+                matched_cells.extend(intersections)
+                per_input[i].append(table.entries_keys(hit_ids))
+        matched = np.isin(qpacked, _concat(matched_cells))
         return matched, [_concat(parts) for parts in per_input]
 
     def disk_bytes(self) -> int:
@@ -956,9 +1017,12 @@ def _concat(parts: list[np.ndarray]) -> np.ndarray:
     return np.concatenate(parts)
 
 
-def _in_sorted(sorted_arr: np.ndarray, value: int) -> bool:
-    pos = np.searchsorted(sorted_arr, value)
-    return bool(pos < sorted_arr.size and sorted_arr[pos] == value)
+def _decode_value_field(blob: bytes, field: int) -> np.ndarray:
+    """Decode one cell-set field of a value blob, skipping (not decoding)
+    the fields before it."""
+    offset = codecs.skip_fields(blob, 0, len(blob), field)
+    cells, _ = codecs.decode_cells(blob, offset)
+    return cells
 
 
 def make_store(

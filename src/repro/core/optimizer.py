@@ -19,9 +19,14 @@ are free).
 
 The disk budget is enforced against :meth:`CostModel.disk_bytes`, which is
 codec-aware: operators whose lineage compresses well (interval-coded
-convolution/reshape regions) are budgeted at their sampled compressed
-footprint rather than a flat bytes-per-cell constant, so the optimizer can
-afford to materialise strategies the old estimate would have pruned.
+convolution/reshape regions, bitmap-coded dense-but-ragged masks) are
+budgeted at their sampled compressed footprint rather than a flat
+bytes-per-cell constant, so the optimizer can afford to materialise
+strategies the old estimate would have pruned.  Query costs are likewise
+batch-aware: mismatched-orientation access is priced at the vectorised
+batch-scan rate (``batch_entry_s``) instead of the per-entry cursor rate,
+which keeps single-orientation Full stores competitive for mixed workloads
+instead of forcing a second, redundant store within the budget.
 """
 
 from __future__ import annotations

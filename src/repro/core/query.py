@@ -7,6 +7,13 @@ short-circuits steps whose operators are annotated safe; and the query-time
 optimizer chooses, per step, between the materialised strategies and
 re-execution — dynamically switching to re-execution if the materialised
 access exceeds its budget, which bounds the worst case near 2x black-box.
+
+Store access is batch-first: matched backward steps ask the store to decode
+only the traversed input's field (``backward_full(..., only_input=idx)``),
+and mismatched-orientation steps run the stores' vectorised batch-scan
+paths (one :class:`~repro.storage.codecs.BatchProbe` pass over the value
+heap) rather than per-entry cursor loops, so the wall-clock the budget
+meters is dominated by a few NumPy passes.
 """
 
 from __future__ import annotations
@@ -35,7 +42,13 @@ class _BudgetExceeded(Exception):
 
 
 class _Budget:
-    """Wall-clock budget; ``tick`` is cheap enough to call per entry."""
+    """Wall-clock budget.
+
+    ``tick`` is throttled (one deadline test per 512 calls) so per-entry
+    loops — payload cursor scans and BatchProbe's cold lowering walk — can
+    afford calling it once per entry; ``check`` tests the deadline on every
+    call, for code with only a few natural checkpoints.
+    """
 
     __slots__ = ("deadline", "_start", "_counter")
 
@@ -342,9 +355,13 @@ class QueryExecutor:
             )
         ticker = budget.tick if budget is not None else None
         if strategy.mode is LineageMode.FULL:
+            # the scan paths forward the ticker into BatchProbe's cold
+            # lowering loop (the one remaining per-entry walk), so a huge
+            # first scan can still abort to re-execution near the deadline
             if backward:
                 if strategy.orientation is Orientation.BACKWARD:
-                    _, per_input = store.backward_full(qpacked)
+                    # matched path: decode only the traversed input's field
+                    _, per_input = store.backward_full(qpacked, only_input=idx)
                 else:
                     _, per_input = store.scan_backward_full(qpacked, ticker=ticker)
                 return per_input[idx]

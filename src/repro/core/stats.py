@@ -128,8 +128,9 @@ class StatsCollector:
         pairs is additionally priced through the codec layer
         (:func:`repro.storage.serialize.int_array_nbytes`), so the cost
         model sees *compressed* footprints — contiguous convolution or
-        reshape lineage interval-codes to a fraction of the old per-cell
-        constant — instead of a flat bytes-per-cell guess.
+        reshape lineage interval-codes, and dense-but-ragged masks
+        bitmap-code, to a fraction of the old per-cell constant — instead
+        of a flat bytes-per-cell guess.
         """
         stats = self.get(node)
         n_pairs = n_out = n_in = pay_bytes = n_pay = n_pay_out = 0

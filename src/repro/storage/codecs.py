@@ -14,7 +14,19 @@ This module provides that layer:
     The interface: ``encode``/``decode``/``nbytes`` plus the decode-free
     probes ``contains_any`` / ``intersect`` / ``bounds`` / ``skip``.
 
-Three concrete codecs, distinguished by a leading *tag byte* per value:
+Four concrete codecs, distinguished by a leading *tag byte* per value:
+
+======  =====  ==========  ====================================================
+tag     ascii  codec       wire layout after the tag byte
+======  =====  ==========  ====================================================
+``49``  ``I``  delta       flags, n (uvarint), width, base ``<q``, residuals
+``52``  ``R``  raw         flags, n (uvarint), n little-endian int64 values
+``56``  ``V``  interval    n, r (uvarints), gap/len widths, base ``<q``,
+                           ``r - 1`` gaps, ``r`` run lengths minus one
+``42``  ``B``  bitmap      n, m (uvarints), base ``<q``, ``m`` mask bytes;
+                           bit ``j`` of byte ``i`` set ⇔ ``base + 8i + j``
+                           is present (LSB-first within each byte)
+======  =====  ==========  ====================================================
 
 ``DeltaCodec`` (tag ``0x49``)
     The repo's original delta + minimal-fixed-width scheme, byte-for-byte.
@@ -33,8 +45,19 @@ Three concrete codecs, distinguished by a leading *tag byte* per value:
     handful of ``(gap, length)`` pairs, and membership probes binary-search
     the run table without ever expanding the cells.
 
+``BitmapCodec`` (tag ``0x42``)
+    One bit per position across the value's span.  Dense-but-*ragged*
+    regions — thresholded masks, sieved selections — fragment the interval
+    run table into nearly one run per cell, while a bitmap stays at
+    ``span / 8`` bytes regardless of raggedness; membership probes are
+    decode-free byte masking against the encoded mask.
+
 :func:`encode_cells` picks the smallest eligible encoding per value;
 :func:`decode_cells` and the in-situ probes dispatch on the tag byte.
+:class:`BatchProbe` amortises those probes across a whole value heap —
+entries grouped by tag byte, each group lowered to one flat NumPy table and
+answered for every entry at once — which is what the store scan paths use
+instead of calling :func:`contains_any` / :func:`intersect` per entry.
 Everything is vectorised with numpy; nothing here loops over cells.
 """
 
@@ -44,7 +67,7 @@ import struct
 
 import numpy as np
 
-from repro.arrays.coords import isin_sorted
+from repro.arrays.coords import expand_ranges, isin_sorted
 from repro.errors import StorageError
 
 __all__ = [
@@ -52,9 +75,12 @@ __all__ = [
     "DeltaCodec",
     "RawCodec",
     "IntervalCodec",
+    "BitmapCodec",
+    "BatchProbe",
     "TAG_DELTA",
     "TAG_RAW",
     "TAG_INTERVAL",
+    "TAG_BITMAP",
     "codec_for_tag",
     "encode_uvarint",
     "decode_uvarint",
@@ -63,6 +89,7 @@ __all__ = [
     "decode_cells",
     "cells_nbytes",
     "skip_cells",
+    "skip_fields",
     "contains_any",
     "intersect",
     "decoded_bounds",
@@ -71,10 +98,17 @@ __all__ = [
 TAG_DELTA = 0x49  # ord('I'): the legacy magic byte doubles as the codec tag
 TAG_RAW = 0x52  # ord('R')
 TAG_INTERVAL = 0x56  # ord('V')
+TAG_BITMAP = 0x42  # ord('B')
 
 _FLAG_SORTED = 0x01
 _WIDTHS = (1, 2, 4, 8)
 _DTYPES = {1: "<u1", 2: "<u2", 4: "<u4", 8: "<u8"}
+
+#: widest span a bitmap may cover (a 16 MiB mask).  Selection would never
+#: pick a mask anywhere near this large — it loses to delta long before —
+#: but the cap keeps eligibility itself bounded: ``arr - base`` stays well
+#: inside int64 and a forced ``encode`` can never allocate absurd masks.
+_BITMAP_MAX_SPAN = 1 << 27
 
 
 # -- varints (shared with :mod:`repro.storage.serialize`) -----------------------
@@ -618,13 +652,149 @@ class IntervalCodec(Codec):
         return mask
 
 
+class BitmapCodec(Codec):
+    """One presence bit per position across the value's span.
+
+    Eligible for strictly-increasing sets of at least two cells whose span
+    stays under :data:`_BITMAP_MAX_SPAN`.  The payload is ``m`` mask bytes
+    (LSB-first: bit ``j`` of byte ``i`` marks ``base + 8i + j``), so the
+    footprint is span-proportional and *raggedness-proof*: a 50%-dense
+    random mask costs one bit per position where the interval codec pays a
+    whole ``(gap, len)`` pair per fragment and delta pays a byte per cell.
+    Membership probes never expand cells — they gather mask bytes for the
+    query window and test bits.
+    """
+
+    tag = TAG_BITMAP
+    name = "bitmap"
+
+    @staticmethod
+    def _span_of(arr: np.ndarray, is_sorted: bool, d: np.ndarray | None = None) -> int | None:
+        """The value's inclusive span, or None when ineligible.
+
+        Like the interval codec, eligibility needs a comparison-based
+        sortedness check (wrapped diffs of extreme pairs can fake a ``+1``
+        step) plus strictly-positive diffs; the span itself is computed in
+        Python ints so an extreme pair cannot overflow int64.
+        """
+        if arr.size < 2 or not is_sorted:
+            return None
+        if d is None:
+            d = np.diff(arr)
+        if (d < 1).any():  # duplicates or int64-overflow wrap
+            return None
+        span = int(arr[-1]) - int(arr[0]) + 1
+        if span > _BITMAP_MAX_SPAN:
+            return None
+        return span
+
+    @staticmethod
+    def _planned_size(n: int, span: int) -> int:
+        m = (span + 7) // 8
+        return 1 + uvarint_len(n) + uvarint_len(m) + 8 + m
+
+    def _encode_planned(self, arr: np.ndarray, plan: int) -> bytes:
+        span = plan
+        base = int(arr[0])
+        bits = np.zeros(span, dtype=bool)
+        bits[arr - base] = True
+        mask = np.packbits(bits, bitorder="little")
+        header = bytearray([self.tag])
+        header += encode_uvarint(arr.size)
+        header += encode_uvarint(mask.size)
+        header += struct.pack("<q", base)
+        return bytes(header) + mask.tobytes()
+
+    def nbytes(self, arr: np.ndarray) -> int | None:
+        arr = _as_int64(arr)
+        span = self._span_of(arr, _is_sorted(arr))
+        return None if span is None else self._planned_size(arr.size, span)
+
+    def encode(self, arr: np.ndarray) -> bytes:
+        arr = _as_int64(arr)
+        span = self._span_of(arr, _is_sorted(arr))
+        if span is None:
+            raise StorageError(
+                "bitmap codec requires a strictly-increasing set within "
+                f"a {_BITMAP_MAX_SPAN}-position span"
+            )
+        return self._encode_planned(arr, span)
+
+    def _header(self, buf: bytes, offset: int) -> tuple[int, int, int, int]:
+        """``(n, m, base, payload_pos)``."""
+        self._check_tag(buf, offset)
+        n, pos = decode_uvarint(buf, offset + 1)
+        m, pos = decode_uvarint(buf, pos)
+        if n < 2 or m < 1 or n > 8 * m:
+            raise StorageError(f"bad bitmap cell count {n} for {m} mask bytes")
+        if pos + 8 + m > len(buf):
+            raise StorageError("truncated int array payload")
+        (base,) = struct.unpack_from("<q", buf, pos)
+        return n, m, base, pos + 8
+
+    def _mask(self, buf: bytes, offset: int) -> tuple[int, int, int, np.ndarray]:
+        n, m, base, pos = self._header(buf, offset)
+        return n, base, pos, np.frombuffer(buf, dtype=np.uint8, count=m, offset=pos)
+
+    def decode(self, buf: bytes, offset: int = 0) -> tuple[np.ndarray, int]:
+        n, base, pos, mask = self._mask(buf, offset)
+        rel = np.flatnonzero(np.unpackbits(mask, bitorder="little"))
+        if rel.size != n:
+            raise StorageError("bitmap popcount does not match the cell count")
+        return base + rel.astype(np.int64), pos + mask.size
+
+    def skip(self, buf: bytes, offset: int = 0) -> int:
+        _, m, _, pos = self._header(buf, offset)
+        return pos + m
+
+    def bounds(self, buf: bytes, offset: int = 0) -> tuple[int, int, int]:
+        n, base, _, mask = self._mask(buf, offset)
+        nz = np.flatnonzero(mask)
+        if nz.size == 0:
+            raise StorageError("bitmap popcount does not match the cell count")
+        lo_byte = int(mask[nz[0]])
+        hi_byte = int(mask[nz[-1]])
+        lo = base + 8 * int(nz[0]) + ((lo_byte & -lo_byte).bit_length() - 1)
+        hi = base + 8 * int(nz[-1]) + (hi_byte.bit_length() - 1)
+        return lo, hi, n
+
+    def contains_any(self, buf: bytes, offset: int, sorted_query: np.ndarray) -> bool:
+        return self._query_mask(buf, offset, _as_int64(sorted_query))[1].any()
+
+    def intersect(self, buf: bytes, offset: int, sorted_query: np.ndarray) -> np.ndarray:
+        sorted_query = _as_int64(sorted_query)
+        window, present = self._query_mask(buf, offset, sorted_query)
+        return sorted_query[window.start + np.flatnonzero(present)]
+
+    def _query_mask(
+        self, buf: bytes, offset: int, query: np.ndarray
+    ) -> tuple[slice, np.ndarray]:
+        """``(window, present)``: the query slice overlapping the mask's
+        addressable range and a per-position hit mask — pure byte masking,
+        no cell expansion."""
+        _, m, base, pos = self._header(buf, offset)
+        lo = np.searchsorted(query, base, side="left")
+        # the trailing pad bits of the last mask byte may address past
+        # int64; clamping is exact because no stored cell can exceed it
+        cap = min(base + 8 * m - 1, 2**63 - 1)
+        hi = np.searchsorted(query, cap, side="right")
+        window = slice(int(lo), int(hi))
+        rel = query[window] - base
+        if rel.size == 0:
+            return window, np.zeros(0, dtype=bool)
+        mask = np.frombuffer(buf, dtype=np.uint8, count=m, offset=pos)
+        present = (mask[rel >> 3] >> (rel & 7)) & 1
+        return window, present.astype(bool)
+
+
 DELTA = DeltaCodec()
 RAW = RawCodec()
 INTERVAL = IntervalCodec()
+BITMAP = BitmapCodec()
 
 #: selection order — ties go to the earliest codec, so singletons and other
 #: size-ties keep the historical delta layout
-_PRIORITY: tuple[Codec, ...] = (DELTA, INTERVAL, RAW)
+_PRIORITY: tuple[Codec, ...] = (DELTA, INTERVAL, BITMAP, RAW)
 _BY_TAG: dict[int, Codec] = {c.tag: c for c in _PRIORITY}
 
 
@@ -666,6 +836,11 @@ def _select(arr: np.ndarray) -> tuple[Codec, object, int]:
         size = INTERVAL._planned_size(n, interval_plan)
         if best is None or size < best[2]:
             best = (INTERVAL, interval_plan, size)
+    span = BITMAP._span_of(arr, is_sorted, d)
+    if span is not None:
+        size = BITMAP._planned_size(n, span)
+        if best is None or size < best[2]:
+            best = (BITMAP, span, size)
     raw_size = RAW._planned_size(n)
     if best is None or raw_size < best[2]:
         best = (RAW, is_sorted, raw_size)  # always eligible
@@ -694,6 +869,22 @@ def skip_cells(buf: bytes, offset: int = 0) -> int:
     return _codec_at(buf, offset).skip(buf, offset)
 
 
+def skip_fields(buf: bytes, offset: int, end: int, field: int) -> int:
+    """Offset of cell-set ``field`` within a multi-field value.
+
+    A value spanning ``buf[offset:end)`` may hold one encoded cell set per
+    input array back to back; this walks past the first ``field`` of them
+    (headers only) and raises when the value holds no such field.
+    """
+    for _ in range(field):
+        if offset >= end:
+            raise StorageError(f"value has no cell-set field {field}")
+        offset = skip_cells(buf, offset)
+    if offset >= end:
+        raise StorageError(f"value has no cell-set field {field}")
+    return offset
+
+
 def decoded_bounds(buf: bytes, offset: int = 0) -> tuple[int, int, int]:
     """``(lo, hi, count)`` of the encoded set; ``(0, -1, 0)`` when empty."""
     return _codec_at(buf, offset).bounds(buf, offset)
@@ -707,3 +898,226 @@ def contains_any(buf: bytes, sorted_query: np.ndarray, offset: int = 0) -> bool:
 def intersect(buf: bytes, sorted_query: np.ndarray, offset: int = 0) -> np.ndarray:
     """The values of ``sorted_query`` present in the encoded set."""
     return _codec_at(buf, offset).intersect(buf, offset, sorted_query)
+
+
+# -- batch scan engine -----------------------------------------------------------
+
+
+class _LoweredHeap:
+    """Flat per-tag tables lowered from a value heap (see BatchProbe)."""
+
+    __slots__ = (
+        "run_starts", "run_ends", "run_eid",
+        "cell_values", "cell_eid",
+        "bm_eid", "bm_base", "bm_cap", "bm_pos", "bm_len",
+    )
+
+
+class BatchProbe:
+    """Vectorised per-entry probes over a heap of concatenated codec values.
+
+    Takes a whole value heap — e.g. a ``RegionEntryTable``'s concatenated
+    ``_vbuf`` — plus one value offset per entry, and answers
+    :meth:`contains_any` / :meth:`intersect` for *every* entry in a constant
+    number of NumPy passes per codec tag, instead of one Python-level probe
+    call per entry:
+
+    * **interval** values lower to one flat ``(start, end, entry)`` run
+      table; the whole group is answered with two ``searchsorted`` calls
+      against the sorted query, and only intersecting runs are ever
+      materialised;
+    * **delta** and **raw** values decode once into a single concatenated
+      ``(value, entry)`` table answered with one ``searchsorted`` pass;
+    * **bitmap** values stay encoded; a vectorised bounds pass rejects
+      non-overlapping masks and only overlapping ones byte-mask their query
+      window.
+
+    Lowering happens lazily on first probe and is cached, so repeated scans
+    over the same heap pay the per-entry header walk exactly once.  Answers
+    are defined to match the per-entry probes bit for bit:
+    ``contains_any(q)[e] == contains_any(buf, q, offsets[e])`` and each
+    intersection equals ``intersect(buf, q, offsets[e])``.
+    """
+
+    def __init__(
+        self,
+        buf: bytes,
+        offsets: np.ndarray,
+        ends: np.ndarray | None = None,
+    ):
+        self._buf = buf
+        self._offsets = np.ascontiguousarray(np.asarray(offsets, dtype=np.int64))
+        if ends is None:
+            ends = np.full(self._offsets.shape, len(buf), dtype=np.int64)
+        self._ends = np.ascontiguousarray(np.asarray(ends, dtype=np.int64))
+        if self._ends.shape != self._offsets.shape:
+            raise StorageError("batch probe offsets and ends must align")
+        self.n_entries = int(self._offsets.size)
+        self._lowered: _LoweredHeap | None = None
+
+    # -- lowering ----------------------------------------------------------
+
+    def _lower(self, ticker=None) -> _LoweredHeap:
+        """One header walk over the heap, grouping entries by tag byte.
+
+        ``ticker`` is called once per entry — the cold lowering pass is the
+        only per-entry loop left in a scan, so it is where a query-time
+        budget must be able to interrupt.
+        """
+        if self._lowered is not None:
+            return self._lowered
+        buf = self._buf
+        run_s: list[np.ndarray] = []
+        run_e: list[np.ndarray] = []
+        run_id: list[np.ndarray] = []
+        cell_v: list[np.ndarray] = []
+        cell_id: list[np.ndarray] = []
+        bm: list[tuple[int, int, int, int, int]] = []
+        for e in range(self.n_entries):
+            if ticker is not None:
+                ticker()
+            offset = int(self._offsets[e])
+            end = int(self._ends[e])
+            if offset >= end:
+                raise StorageError(f"entry {e} has no cell-set value")
+            codec = _codec_at(buf, offset)
+            if codec.skip(buf, offset) > end:
+                raise StorageError(f"entry {e} value overruns its heap slot")
+            if codec.tag == TAG_INTERVAL:
+                starts, lens, _, _ = INTERVAL._run_table(buf, offset)
+                run_s.append(starts)
+                run_e.append(starts + lens - 1)
+                run_id.append(np.full(starts.size, e, dtype=np.int64))
+            elif codec.tag == TAG_BITMAP:
+                _, m, base, pos = BITMAP._header(buf, offset)
+                # clamp like _query_mask: pad bits may address past int64
+                cap = min(base + 8 * m - 1, 2**63 - 1)
+                bm.append((e, base, cap, pos, m))
+            else:  # delta / raw: expanded once into the concatenated table
+                values, _ = codec.decode(buf, offset)
+                if values.size:
+                    cell_v.append(values)
+                    cell_id.append(np.full(values.size, e, dtype=np.int64))
+        lowered = _LoweredHeap()
+        lowered.run_starts = _concat_i64(run_s)
+        lowered.run_ends = _concat_i64(run_e)
+        lowered.run_eid = _concat_i64(run_id)
+        lowered.cell_values = _concat_i64(cell_v)
+        lowered.cell_eid = _concat_i64(cell_id)
+        cols = np.asarray(bm, dtype=np.int64).reshape(-1, 5).T
+        lowered.bm_eid, lowered.bm_base, lowered.bm_cap, lowered.bm_pos, lowered.bm_len = cols
+        self._lowered = lowered
+        return lowered
+
+    def _bitmap_window(self, t: _LoweredHeap, query: np.ndarray):
+        """Per-bitmap-entry query windows ``(lo, hi)`` after the vectorised
+        bounds rejection (two searchsorted calls over all masks)."""
+        lo = np.searchsorted(query, t.bm_base, side="left")
+        hi = np.searchsorted(query, t.bm_cap, side="right")
+        return lo, hi
+
+    def _bitmap_hits(self, t: _LoweredHeap, j: int, query_window: np.ndarray) -> np.ndarray:
+        """Boolean hit mask of one bitmap entry over its query window."""
+        rel = query_window - int(t.bm_base[j])
+        mask = np.frombuffer(
+            self._buf, dtype=np.uint8, count=int(t.bm_len[j]), offset=int(t.bm_pos[j])
+        )
+        return ((mask[rel >> 3] >> (rel & 7)) & 1).astype(bool)
+
+    # -- probes ------------------------------------------------------------
+
+    def contains_any(self, sorted_query: np.ndarray, ticker=None) -> np.ndarray:
+        """Per-entry verdicts: does the entry's set hit ``sorted_query``?"""
+        query = _as_int64(sorted_query)
+        verdict = np.zeros(self.n_entries, dtype=bool)
+        if query.size == 0 or self.n_entries == 0:
+            return verdict
+        t = self._lower(ticker)
+        if t.run_starts.size:
+            lo = np.searchsorted(query, t.run_starts, side="left")
+            hi = np.searchsorted(query, t.run_ends, side="right")
+            verdict[t.run_eid[hi > lo]] = True
+        if t.cell_values.size:
+            pos = np.searchsorted(query, t.cell_values)
+            inb = pos < query.size
+            hit = np.zeros(t.cell_values.size, dtype=bool)
+            hit[inb] = query[pos[inb]] == t.cell_values[inb]
+            verdict[t.cell_eid[hit]] = True
+        if t.bm_eid.size:
+            lo, hi = self._bitmap_window(t, query)
+            for j in np.flatnonzero((hi > lo) & ~verdict[t.bm_eid]):
+                if self._bitmap_hits(t, int(j), query[lo[j]: hi[j]]).any():
+                    verdict[t.bm_eid[j]] = True
+        return verdict
+
+    def intersect(
+        self, sorted_query: np.ndarray, ticker=None
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        """``(hit_entry_ids, intersections)`` over the whole heap.
+
+        ``hit_entry_ids`` is ascending; ``intersections[i]`` is exactly what
+        the per-entry probe would return for that entry (the subset of
+        ``sorted_query`` present, duplicates preserved).  Entries with empty
+        intersections are omitted, so nothing non-intersecting is ever
+        materialised.
+        """
+        query = _as_int64(sorted_query)
+        results: dict[int, np.ndarray] = {}
+        if query.size == 0 or self.n_entries == 0:
+            return np.empty(0, dtype=np.int64), []
+        t = self._lower(ticker)
+        if t.run_starts.size:
+            lo = np.searchsorted(query, t.run_starts, side="left")
+            hi = np.searchsorted(query, t.run_ends, side="right")
+            hit = hi > lo
+            if hit.any():
+                # runs were lowered in (entry, run) order, so the gathered
+                # values arrive grouped by entry and ascending within it
+                self._split_into(results, t.run_eid[hit], lo[hit], hi[hit], query)
+        if t.cell_values.size:
+            pos_l = np.searchsorted(query, t.cell_values, side="left")
+            pos_r = np.searchsorted(query, t.cell_values, side="right")
+            hit = pos_r > pos_l
+            if hit.any():
+                eid, lo, hi = t.cell_eid[hit], pos_l[hit], pos_r[hit]
+                # delta values may be unsorted and duplicated within an
+                # entry: order by (entry, query position) and keep each
+                # matched query position once per entry
+                order = np.lexsort((lo, eid))
+                eid, lo, hi = eid[order], lo[order], hi[order]
+                keep = np.ones(eid.size, dtype=bool)
+                keep[1:] = (eid[1:] != eid[:-1]) | (lo[1:] != lo[:-1])
+                self._split_into(results, eid[keep], lo[keep], hi[keep], query)
+        if t.bm_eid.size:
+            lo, hi = self._bitmap_window(t, query)
+            for j in np.flatnonzero(hi > lo):
+                window = query[lo[j]: hi[j]]
+                vals = window[self._bitmap_hits(t, int(j), window)]
+                if vals.size:
+                    results[int(t.bm_eid[j])] = vals
+        hit_ids = np.asarray(sorted(results), dtype=np.int64)
+        return hit_ids, [results[int(e)] for e in hit_ids]
+
+    @staticmethod
+    def _split_into(
+        results: dict[int, np.ndarray],
+        eid: np.ndarray,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        query: np.ndarray,
+    ) -> None:
+        """Materialise ``query[lo:hi)`` ranges grouped by non-decreasing
+        ``eid`` into per-entry arrays (one gather, one split)."""
+        counts = hi - lo
+        values = query[expand_ranges(lo, counts)]
+        boundaries = np.flatnonzero(np.diff(eid)) + 1
+        entry_ids = eid[np.r_[0, boundaries]]
+        pieces = np.split(values, np.cumsum(counts)[boundaries - 1])
+        for entry, piece in zip(entry_ids, pieces):
+            results[int(entry)] = piece
+
+
+def _concat_i64(parts: list[np.ndarray]) -> np.ndarray:
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(parts)

@@ -33,7 +33,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.arrays.coords import expand_ranges
 from repro.errors import StorageError
+from repro.storage import codecs
 from repro.storage import serialize as ser
 
 __all__ = ["HashStore", "BlobStore"]
@@ -157,7 +159,7 @@ class HashStore:
         if hits.size == 0:
             return np.empty(0, dtype=np.int64), []
         qidx = np.repeat(hits, counts[hits])
-        entry_ids = _expand_ranges(lo[hits], counts[hits])
+        entry_ids = expand_ranges(lo[hits], counts[hits])
         values = [
             bytes(seg.buf[seg.offsets[e]: seg.offsets[e + 1]]) for e in entry_ids
         ]
@@ -177,7 +179,7 @@ class HashStore:
         if hits.size == 0:
             return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
         qidx = np.repeat(hits, counts[hits])
-        entry_ids = _expand_ranges(lo[hits], counts[hits])
+        entry_ids = expand_ranges(lo[hits], counts[hits])
         starts = seg.offsets[entry_ids]
         widths = seg.offsets[entry_ids + 1] - starts
         if (widths != 8).any():
@@ -194,6 +196,25 @@ class HashStore:
         seg = self._segment
         for i in range(seg.keys.size):
             yield int(seg.keys[i]), bytes(seg.buf[seg.offsets[i]: seg.offsets[i + 1]])
+
+    def items_fixed(self) -> tuple[np.ndarray, np.ndarray]:
+        """All entries of a fixed-width store as aligned ``(keys, values)``
+        int64 vectors — the batch-scan counterpart of :meth:`scan`.
+
+        Views over the finalized segment (no copy on little-endian hosts);
+        raises when any value is not exactly 8 bytes (use :meth:`scan` for
+        variable-width values).
+        """
+        self.finalize()
+        if self._segment is None or self._segment.keys.size == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        seg = self._segment
+        if (np.diff(seg.offsets) != 8).any():
+            raise StorageError("items_fixed used on variable-width values")
+        values = np.frombuffer(seg.buf, dtype="<i8", count=seg.keys.size).astype(
+            np.int64, copy=False
+        )
+        return seg.keys, values
 
     def keys_array(self) -> np.ndarray:
         """All stored keys (sorted, with duplicates)."""
@@ -259,10 +280,14 @@ class BlobStore:
         self.name = name
         self._blobs: list[bytes] = []
         self._nbytes = 0
+        self._heap: tuple[bytes, np.ndarray, np.ndarray] | None = None
+        self._probes: dict = {}
 
     def append(self, data: bytes) -> int:
         self._blobs.append(bytes(data))
         self._nbytes += len(data)
+        self._heap = None
+        self._probes = {}
         return len(self._blobs) - 1
 
     def append_many(self, blobs: list[bytes]) -> np.ndarray:
@@ -270,7 +295,39 @@ class BlobStore:
         for blob in blobs:
             self._blobs.append(bytes(blob))
             self._nbytes += len(blob)
+        self._heap = None
+        self._probes = {}
         return np.arange(start, len(self._blobs), dtype=np.int64)
+
+    def batch_probe(self, field: int = 0, ticker=None) -> "codecs.BatchProbe":
+        """Vectorised prober over every blob's cell-set ``field``.
+
+        Valid only when the blobs are codec-encoded cell-set values (the
+        ``FullOne`` layouts); entry ``i`` of the probe answers for blob id
+        ``i``.  The concatenated heap is joined once and shared by every
+        field's probe; probes (with their lowered tables) are cached until
+        the next append, so a mismatched-orientation scan pays one
+        vectorised pass instead of one probe call per unique blob ref.
+        ``ticker`` is called once per blob during the cold field-offset
+        walk, so a query-time budget can interrupt it.
+        """
+        probe = self._probes.get(field)
+        if probe is None:
+            if self._heap is None:
+                lengths = np.asarray([len(b) for b in self._blobs], dtype=np.int64)
+                ends = np.cumsum(lengths)
+                self._heap = (b"".join(self._blobs), ends - lengths, ends)
+            buf, starts, ends = self._heap
+            if field:
+                shifted = np.empty(starts.size, dtype=np.int64)
+                for j, (start, end) in enumerate(zip(starts, ends)):
+                    if ticker is not None:
+                        ticker()
+                    shifted[j] = codecs.skip_fields(buf, int(start), int(end), field)
+                starts = shifted
+            probe = codecs.BatchProbe(buf, starts, ends)
+            self._probes[field] = probe
+        return probe
 
     def get(self, blob_id: int) -> bytes:
         try:
@@ -311,6 +368,8 @@ class BlobStore:
     def clear(self) -> None:
         self._blobs = []
         self._nbytes = 0
+        self._heap = None
+        self._probes = {}
 
 
 def _bases(chunks: list[_Chunk]) -> list[int]:
@@ -320,19 +379,6 @@ def _bases(chunks: list[_Chunk]) -> list[int]:
         bases.append(total)
         total += len(chunk.buf)
     return bases
-
-
-def _expand_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
-    """Concatenate ``[s, s+c)`` ranges without a Python loop."""
-    total = int(counts.sum())
-    if total == 0:
-        return np.empty(0, dtype=np.int64)
-    out = np.ones(total, dtype=np.int64)
-    ends = np.cumsum(counts)
-    out[0] = starts[0]
-    if starts.size > 1:
-        out[ends[:-1]] = starts[1:] - (starts[:-1] + counts[:-1]) + 1
-    return np.cumsum(out)
 
 
 def _gather_slices(buf: bytes, starts: np.ndarray, lengths: np.ndarray, total: int) -> bytes:

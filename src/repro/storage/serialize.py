@@ -5,9 +5,9 @@ easily be larger than the original data arrays" — so the wire format matters.
 We bit-pack each coordinate into a single int64 (ravel order against the
 array shape, as the paper does for small arrays) and hand integer sets to
 the codec subsystem in :mod:`repro.storage.codecs`, which picks the smallest
-of three tagged wire formats per value (delta/var-width, run-length
-intervals, raw fixed-width) and offers decode-free membership probes over
-the encoded bytes.
+of four tagged wire formats per value (delta/var-width, run-length
+intervals, presence bitmaps, raw fixed-width) and offers decode-free
+membership probes over the encoded bytes.
 
 :func:`encode_int_array` / :func:`decode_int_array` / :func:`int_array_nbytes`
 are kept as the historical entry points; they now dispatch on the per-value

@@ -15,7 +15,9 @@ from hypothesis import strategies as st
 
 from repro.errors import StorageError
 from repro.storage import codecs
-from repro.storage.codecs import DELTA, INTERVAL, RAW
+from repro.storage.codecs import BITMAP, DELTA, INTERVAL, RAW
+
+ALL_CODECS = (DELTA, INTERVAL, BITMAP, RAW)
 
 int64s = st.integers(min_value=-(2**63), max_value=2**63 - 1)
 
@@ -26,8 +28,8 @@ def arr_of(values) -> np.ndarray:
 
 @st.composite
 def cell_sets(draw):
-    """Mixed workload: scattered, contiguous-run-heavy, and extreme sets."""
-    kind = draw(st.sampled_from(["scattered", "runs", "extreme"]))
+    """Mixed workload: scattered, run-heavy, dense-ragged, and extreme sets."""
+    kind = draw(st.sampled_from(["scattered", "runs", "dense", "extreme"]))
     if kind == "scattered":
         values = draw(st.lists(st.integers(-(2**40), 2**40), max_size=120))
         return arr_of(values)
@@ -40,6 +42,14 @@ def cell_sets(draw):
             parts.append(np.arange(cursor, cursor + length, dtype=np.int64))
             cursor += length
         return np.concatenate(parts)
+    if kind == "dense":
+        # ragged dense mask: ~half the positions of a short span, ascending
+        base = draw(st.integers(-(2**40), 2**40))
+        span = draw(st.integers(2, 400))
+        offsets = draw(
+            st.lists(st.integers(0, span - 1), min_size=1, max_size=span, unique=True)
+        )
+        return base + np.sort(arr_of(offsets))
     values = draw(st.lists(int64s, max_size=10))
     return arr_of(values)
 
@@ -60,8 +70,18 @@ class TestSelection:
         assert len(buf) < 20
 
     def test_scattered_sorted_selects_delta(self):
-        buf = codecs.encode_cells(np.arange(100, dtype=np.int64) * 3)
+        # wide gaps: one delta byte per cell beats a span-proportional bitmap
+        buf = codecs.encode_cells(np.arange(100, dtype=np.int64) * 200)
         assert buf[0] == codecs.TAG_DELTA
+
+    def test_dense_strided_selects_bitmap(self):
+        # stride 3 fragments the interval run table and costs a delta byte
+        # per cell; the bitmap pays one *bit* per position instead
+        arr = np.arange(100, dtype=np.int64) * 3
+        buf = codecs.encode_cells(arr)
+        assert buf[0] == codecs.TAG_BITMAP
+        assert len(buf) < codecs.DELTA.nbytes(arr)
+        assert len(buf) < codecs.INTERVAL.nbytes(arr)
 
     def test_overflowing_span_selects_raw(self):
         buf = codecs.encode_cells(arr_of([-(2**63), 2**63 - 1]))
@@ -73,6 +93,7 @@ class TestSelection:
         for values in ([2**63 - 1, -(2**63)], [2**63 - 1, -(2**63) + 5]):
             arr = arr_of(values)
             assert INTERVAL.nbytes(arr) is None
+            assert BITMAP.nbytes(arr) is None
             buf = codecs.encode_cells(arr)
             assert buf[0] == codecs.TAG_RAW
             out, pos = codecs.decode_cells(buf)
@@ -86,7 +107,7 @@ class TestSelection:
     def test_selection_is_smallest_eligible(self, arr):
         buf = codecs.encode_cells(arr)
         chosen = len(buf)
-        for codec in (DELTA, INTERVAL, RAW):
+        for codec in ALL_CODECS:
             size = codec.nbytes(arr)
             if size is not None and arr.size > 1:
                 assert chosen <= size
@@ -110,7 +131,7 @@ class TestRoundtrip:
     @given(cell_sets())
     @settings(max_examples=100, deadline=None)
     def test_per_codec_roundtrip_where_eligible(self, arr):
-        for codec in (DELTA, INTERVAL, RAW):
+        for codec in ALL_CODECS:
             if codec.nbytes(arr) is None:
                 with pytest.raises(StorageError):
                     codec.encode(arr)
@@ -138,6 +159,7 @@ class TestRoundtrip:
         parts = [
             np.arange(30, dtype=np.int64),  # interval
             arr_of([9, -3, 14]),  # delta (unsorted)
+            np.arange(40, dtype=np.int64) * 3 + 100,  # bitmap (dense strided)
             arr_of([-(2**63), 2**63 - 1]),  # raw
         ]
         buf = b"".join(codecs.encode_cells(p) for p in parts)
@@ -158,7 +180,7 @@ class TestInSituProbes:
     @settings(max_examples=200, deadline=None)
     def test_probes_match_decoded_reference(self, arr, query):
         sorted_query = np.sort(arr_of(query))
-        for codec in (DELTA, INTERVAL, RAW):
+        for codec in ALL_CODECS:
             if codec.nbytes(arr) is None:
                 continue
             buf = codec.encode(arr)
@@ -213,6 +235,95 @@ class TestInSituProbes:
         assert codecs.contains_any(buf, arr_of([17]))
         assert not codecs.contains_any(buf, arr_of([12, 15, 18]))
         assert codecs.intersect(buf, arr_of([10, 12, 16])).tolist() == [10, 16]
+
+
+class TestBitmap:
+    """Wire-format and eligibility specifics of the dense-mask codec."""
+
+    def test_wire_format_golden_bytes(self):
+        # {10, 12, 13, 17}: base 10, span 8, one mask byte 0b10001101
+        buf = BITMAP.encode(arr_of([10, 12, 13, 17]))
+        assert buf == bytes.fromhex("42" "04" "01" "0a00000000000000" "8d")
+        out, pos = BITMAP.decode(buf)
+        assert out.tolist() == [10, 12, 13, 17] and pos == len(buf)
+        assert BITMAP.skip(buf) == len(buf)
+        assert BITMAP.bounds(buf) == (10, 17, 4)
+
+    def test_requires_strictly_increasing(self):
+        assert BITMAP.nbytes(arr_of([1, 2, 2, 3])) is None
+        assert BITMAP.nbytes(arr_of([3, 2, 1])) is None
+        assert BITMAP.nbytes(arr_of([4])) is None
+        assert BITMAP.nbytes(arr_of([1, 2, 4, 5])) is not None
+
+    def test_span_cap_makes_wide_sets_ineligible(self):
+        wide = arr_of([0, codecs._BITMAP_MAX_SPAN])
+        assert BITMAP.nbytes(wide) is None
+        with pytest.raises(StorageError):
+            BITMAP.encode(wide)
+        assert BITMAP.nbytes(arr_of([0, codecs._BITMAP_MAX_SPAN - 1])) is not None
+
+    def test_probes_are_byte_masking_on_window_edges(self):
+        arr = arr_of([100, 103, 104, 110])
+        buf = BITMAP.encode(arr)
+        # below, between, above, and exact hits — no decode needed
+        assert not BITMAP.contains_any(buf, 0, arr_of([0, 99, 101, 102, 105, 111]))
+        assert BITMAP.contains_any(buf, 0, arr_of([99, 104]))
+        assert BITMAP.intersect(buf, 0, arr_of([99, 100, 104, 110, 200])).tolist() == [
+            100,
+            104,
+            110,
+        ]
+        # duplicates in the query are preserved, like every other codec
+        assert BITMAP.intersect(buf, 0, arr_of([103, 103])).tolist() == [103, 103]
+
+    def test_base_near_int64_max(self):
+        """The last mask byte's pad bits address past int64 for a set
+        ending at 2**63 - 1; probes must clamp, not overflow."""
+        arr = arr_of([2**63 - 4, 2**63 - 2, 2**63 - 1])
+        buf = codecs.encode_cells(arr)
+        assert buf[0] == codecs.TAG_BITMAP
+        out, _ = codecs.decode_cells(buf)
+        assert out.tolist() == arr.tolist()
+        assert BITMAP.bounds(buf) == (2**63 - 4, 2**63 - 1, 3)
+        assert BITMAP.intersect(buf, 0, arr_of([2**63 - 3, 2**63 - 1])).tolist() == [
+            2**63 - 1
+        ]
+        assert not BITMAP.contains_any(buf, 0, arr_of([2**63 - 3]))
+        probe = codecs.BatchProbe(buf, arr_of([0]))
+        assert probe.contains_any(arr_of([2**63 - 2])).tolist() == [True]
+        hit_ids, parts = probe.intersect(arr_of([2**63 - 4, 2**63 - 3]))
+        assert hit_ids.tolist() == [0] and parts[0].tolist() == [2**63 - 4]
+
+    def test_negative_base(self):
+        arr = arr_of([-20, -18, -15])
+        buf = BITMAP.encode(arr)
+        out, _ = BITMAP.decode(buf)
+        assert out.tolist() == arr.tolist()
+        assert BITMAP.bounds(buf) == (-20, -15, 3)
+        assert BITMAP.intersect(buf, 0, arr_of([-18, -17])).tolist() == [-18]
+
+    def test_truncation_raises(self):
+        buf = BITMAP.encode(np.arange(50, dtype=np.int64) * 2)
+        with pytest.raises(StorageError):
+            codecs.decode_cells(buf[:-1])
+
+    def test_popcount_mismatch_raises(self):
+        buf = bytearray(BITMAP.encode(arr_of([5, 7, 9])))
+        buf[1] = 7  # inflate the cell count past the mask's popcount
+        with pytest.raises(StorageError):
+            codecs.decode_cells(bytes(buf))
+
+    def test_ragged_dense_mask_beats_interval_and_delta(self):
+        rng = np.random.default_rng(3)
+        span = 4096
+        mask = rng.random(span) < 0.5
+        mask[0] = mask[-1] = True
+        arr = np.flatnonzero(mask).astype(np.int64)
+        bitmap = BITMAP.nbytes(arr)
+        assert bitmap is not None
+        assert 2 * bitmap <= INTERVAL.nbytes(arr)
+        assert 2 * bitmap <= DELTA.nbytes(arr)
+        assert codecs.encode_cells(arr)[0] == codecs.TAG_BITMAP
 
 
 class TestOldFormatCompatibility:
@@ -270,7 +381,7 @@ class TestErrors:
             codecs.decode_cells(buf[:-1])
 
     def test_interval_corrupt_run_count(self):
-        buf = bytearray(codecs.encode_cells(np.arange(10, dtype=np.int64)))
+        buf = bytearray(INTERVAL.encode(np.arange(10, dtype=np.int64)))
         assert buf[0] == codecs.TAG_INTERVAL
         buf[1] = 200  # inflate the cell count past what the runs cover
         with pytest.raises(StorageError):

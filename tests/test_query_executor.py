@@ -236,7 +236,7 @@ class TestStepStats:
         real = store.backward_full
         bogus = np.asarray([10**9, -5], dtype=np.int64)
 
-        def corrupted(qpacked):
+        def corrupted(qpacked, only_input=None):
             matched, per_input = real(qpacked)
             return matched, [np.concatenate([c, bogus]) for c in per_input]
 

@@ -71,10 +71,19 @@ class TestIntArray:
             ser.encode_int_array(shuffled)
         )
 
-    def test_sorted_deltas_use_single_byte(self):
-        arr = np.arange(100, dtype=np.int64) * 2  # stride 2: delta still wins
+    def test_sorted_deltas_use_fixed_width_residuals(self):
+        # wide stride: span-proportional bitmaps lose, delta still wins
+        arr = np.arange(100, dtype=np.int64) * 300
         # header: tag+flags+count(1)+width(1)+base(8) = 12, then 99 deltas
-        assert len(ser.encode_int_array(arr)) == 12 + 99
+        assert len(ser.encode_int_array(arr)) == 12 + 99 * 2
+
+    def test_dense_strided_arrays_bitmap_code(self):
+        arr = np.arange(100, dtype=np.int64) * 2  # stride 2: one bit per slot
+        buf = ser.encode_int_array(arr)
+        # tag+count(1)+mask-bytes(1)+base(8)+25-byte mask = 36 bytes
+        assert len(buf) == 36
+        out, pos = ser.decode_int_array(buf)
+        assert (out == arr).all() and pos == len(buf)
 
     def test_contiguous_arrays_interval_code(self):
         arr = np.arange(100, dtype=np.int64)
