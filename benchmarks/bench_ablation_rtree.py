@@ -44,10 +44,13 @@ def rtree_probe(table, coords):
 
 
 def cursor_scan(table, coords):
+    """The ablation baseline: a per-entry Python cursor over the columns
+    (the stores themselves no longer have such a loop)."""
     query = np.sort(C.pack_coords(coords, SHAPE))
+    keys, koff, _, _ = table.columns()
     hits = []
-    for e, (keys, _) in enumerate(table.iter_entries()):
-        if C.isin_sorted(keys, query).any():
+    for e in range(koff.size - 1):
+        if C.isin_sorted(keys[koff[e]: koff[e + 1]], query).any():
             hits.append(e)
     return np.asarray(hits, dtype=np.int64)
 

@@ -19,7 +19,11 @@ scan engine landed (PR 2), mismatched-orientation access runs as a few
 vectorised passes over the value heap instead of a per-entry cursor, so on
 this laptop-sized workload it no longer falls off a cliff *below
 re-execution* — the mismatch penalty is still real, but it is now measured
-against the matching index, which is the shape asserted here.
+against the matching index, which is the shape asserted here.  The
+segmented store format widens that divergence to cold starts too: a store
+reloaded from a segment serves its lowered tables from the file, so even a
+fresh process never pays the per-entry header walk the paper's cursor scan
+models (the cold-start table in ``bench_batch_scan.py`` quantifies it).
 """
 
 import pytest

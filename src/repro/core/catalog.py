@@ -1,0 +1,250 @@
+"""Workflow-level catalog of persisted lineage-store segments.
+
+The catalog is the lazy-open serving path of the persistence layer: a
+``flush`` writes every materialised :class:`~repro.core.lineage_store.
+OpLineageStore` as ONE segment file (columns, R-tree, *and* the lowered
+batch-scan tables — see :mod:`repro.storage.segment`) plus one JSON manifest
+(``catalog.json``) describing them.  A fresh process then opens the manifest
+only; individual stores are opened on first query — mmap-backed, no decode —
+so serving a single backward query over a hundred-store workflow touches one
+segment, not a hundred.
+
+The manifest records, per store: the node, the strategy triple, the array
+shapes needed to reconstruct the store object, the segment filename, its
+size, and whether the lowered tables were persisted (they always are on the
+current writer; the flag lets the cost model price mismatched scans at the
+warm batch rate without opening anything).
+
+Corruption handling lives in :func:`repro.workflow.recovery.recover_lineage`,
+which checksum-verifies every segment against the manifest and quarantines
+the corrupt ones; :meth:`StoreCatalog.open_store` itself only does the
+structural validation that :meth:`~repro.storage.segment.Segment.open`
+performs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.core.lineage_store import OpLineageStore, make_store
+from repro.core.modes import EncodingKind, LineageMode, Orientation, StorageStrategy
+from repro.errors import StorageError
+
+__all__ = ["CatalogEntry", "StoreCatalog", "MANIFEST_NAME", "store_filename"]
+
+MANIFEST_NAME = "catalog.json"
+FORMAT = "subzero-catalog"
+VERSION = 1
+
+
+def store_filename(node: str, strategy: StorageStrategy) -> str:
+    """Deterministic segment filename for one (node, strategy) store."""
+    parts = [node, strategy.mode.value]
+    if strategy.encoding is not None:
+        parts.append(strategy.encoding.value)
+    if strategy.orientation is not None:
+        parts.append(strategy.orientation.value)
+    return "__".join(parts) + ".seg"
+
+
+def _strategy_to_json(strategy: StorageStrategy) -> dict:
+    return {
+        "mode": strategy.mode.value,
+        "encoding": strategy.encoding.value if strategy.encoding else None,
+        "orientation": strategy.orientation.value if strategy.orientation else None,
+    }
+
+
+def _strategy_from_json(obj: Mapping) -> StorageStrategy:
+    return StorageStrategy(
+        mode=LineageMode(obj["mode"]),
+        encoding=EncodingKind(obj["encoding"]) if obj["encoding"] else None,
+        orientation=Orientation(obj["orientation"]) if obj["orientation"] else None,
+    )
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One persisted store, as the manifest records it."""
+
+    node: str
+    strategy: StorageStrategy
+    out_shape: tuple[int, ...]
+    in_shapes: tuple[tuple[int, ...], ...]
+    file: str
+    nbytes: int
+    lowered: bool
+
+    @property
+    def key(self) -> tuple[str, StorageStrategy]:
+        return (self.node, self.strategy)
+
+
+class StoreCatalog:
+    """Lazy-open view over a flushed workflow's lineage segments."""
+
+    def __init__(self, directory: str, entries: Iterable[CatalogEntry]):
+        self.directory = directory
+        self._entries: dict[tuple[str, StorageStrategy], CatalogEntry] = {
+            entry.key: entry for entry in entries
+        }
+        self._open: dict[tuple[str, StorageStrategy], OpLineageStore] = {}
+
+    # -- writing -------------------------------------------------------------
+
+    @classmethod
+    def write(
+        cls,
+        directory: str,
+        stores: Mapping[tuple[str, StorageStrategy], OpLineageStore],
+    ) -> tuple["StoreCatalog", int]:
+        """Flush ``stores`` (one segment each, lowered tables included) and
+        the manifest; returns ``(catalog, total_bytes_written)``."""
+        os.makedirs(directory, exist_ok=True)
+        entries: list[CatalogEntry] = []
+        total = 0
+        for (node, strategy), store in stores.items():
+            fname = store_filename(node, strategy)
+            nbytes = store.flush_segment(os.path.join(directory, fname))
+            total += nbytes
+            entries.append(
+                CatalogEntry(
+                    node=node,
+                    strategy=strategy,
+                    out_shape=store.out_shape,
+                    in_shapes=store.in_shapes,
+                    file=fname,
+                    nbytes=nbytes,
+                    lowered=store.lowered_ready(),
+                )
+            )
+        catalog = cls(directory, entries)
+        total += catalog.save_manifest()
+        return catalog, total
+
+    def save_manifest(self) -> int:
+        """(Re)write ``catalog.json`` from the current entries; returns its
+        size.  Recovery calls this after quarantining segments so the
+        on-disk manifest stops advertising stores that no longer serve."""
+        manifest = {
+            "format": FORMAT,
+            "version": VERSION,
+            "stores": [
+                {
+                    "node": entry.node,
+                    "strategy": _strategy_to_json(entry.strategy),
+                    "out_shape": list(entry.out_shape),
+                    "in_shapes": [list(s) for s in entry.in_shapes],
+                    "file": entry.file,
+                    "nbytes": entry.nbytes,
+                    "lowered": entry.lowered,
+                }
+                for entry in self._entries.values()
+            ],
+        }
+        path = os.path.join(self.directory, MANIFEST_NAME)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+        return os.path.getsize(path)
+
+    # -- opening -------------------------------------------------------------
+
+    @classmethod
+    def open(cls, directory: str) -> "StoreCatalog":
+        """Parse the manifest only; no segment file is touched."""
+        path = os.path.join(directory, MANIFEST_NAME)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                manifest = json.load(fh)
+        except OSError as exc:
+            raise StorageError(f"no lineage catalog at {directory!r}: {exc}") from exc
+        except ValueError as exc:
+            raise StorageError(f"corrupt lineage catalog {path!r}: {exc}") from exc
+        if manifest.get("format") != FORMAT:
+            raise StorageError(f"{path!r} is not a lineage catalog manifest")
+        if int(manifest.get("version", 0)) > VERSION:
+            raise StorageError(
+                f"lineage catalog {path!r} has version {manifest['version']}, "
+                f"newer than supported version {VERSION}"
+            )
+        entries = []
+        try:
+            for obj in manifest["stores"]:
+                entries.append(
+                    CatalogEntry(
+                        node=obj["node"],
+                        strategy=_strategy_from_json(obj["strategy"]),
+                        out_shape=tuple(obj["out_shape"]),
+                        in_shapes=tuple(tuple(s) for s in obj["in_shapes"]),
+                        file=obj["file"],
+                        nbytes=int(obj["nbytes"]),
+                        lowered=bool(obj.get("lowered", False)),
+                    )
+                )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StorageError(f"corrupt lineage catalog {path!r}: {exc}") from exc
+        return cls(directory, entries)
+
+    # -- serving -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def keys(self) -> list[tuple[str, StorageStrategy]]:
+        return list(self._entries)
+
+    def entries(self) -> list[CatalogEntry]:
+        return list(self._entries.values())
+
+    def entry(self, node: str, strategy: StorageStrategy) -> CatalogEntry | None:
+        return self._entries.get((node, strategy))
+
+    def drop(self, node: str, strategy: StorageStrategy) -> None:
+        """Forget one entry (used when recovery quarantines its segment)."""
+        self._entries.pop((node, strategy), None)
+        self._open.pop((node, strategy), None)
+
+    def strategies_for(self, node: str) -> tuple[StorageStrategy, ...]:
+        return tuple(s for (n, s) in self._entries if n == node)
+
+    def open_store(
+        self, node: str, strategy: StorageStrategy
+    ) -> OpLineageStore | None:
+        """Open (and cache) one store lazily; None when not in the manifest.
+
+        The returned store's components are mmap-backed views over the
+        segment — nothing is decoded until a query touches it, and the
+        persisted lowered tables make its first mismatched scan warm.
+        """
+        key = (node, strategy)
+        store = self._open.get(key)
+        if store is None:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            store = make_store(node, strategy, entry.out_shape, entry.in_shapes)
+            store.load_segment(os.path.join(self.directory, entry.file))
+            self._open[key] = store
+        return store
+
+    def open_count(self) -> int:
+        """How many stores have actually been opened (laziness probe)."""
+        return len(self._open)
+
+    def is_catalog_store(
+        self, node: str, strategy: StorageStrategy, store: OpLineageStore
+    ) -> bool:
+        """True when ``store`` is the object this catalog opened for the
+        key (as opposed to a freshly re-ingested resident store)."""
+        return self._open.get((node, strategy)) is store
+
+    def manifest_bytes(self, node: str, strategy: StorageStrategy) -> int:
+        entry = self._entries.get((node, strategy))
+        return entry.nbytes if entry is not None else 0
+
+    def lowered_ready(self, node: str, strategy: StorageStrategy) -> bool:
+        entry = self._entries.get((node, strategy))
+        return bool(entry is not None and entry.lowered)

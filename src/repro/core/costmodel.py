@@ -229,8 +229,15 @@ class CostModel:
         strategy: StorageStrategy,
         direction_backward: bool,
         n_query_cells: int,
+        lowered_ready: bool = False,
     ) -> float:
-        """Estimated cost of one query step over ``n_query_cells``."""
+        """Estimated cost of one query step over ``n_query_cells``.
+
+        ``lowered_ready`` marks a store whose lowered batch-scan tables are
+        already warm — cached from an earlier scan, or rehydrated from a
+        segment's persisted tables — so a mismatched access is priced at
+        the pure batch rate without the one-off lowering surcharge.
+        """
         s = self.stats.get(node)
         k = self.k
         n = max(1, int(n_query_cells))
@@ -256,8 +263,12 @@ class CostModel:
                 return n * probe + n * fanin * k.decode_cell_s
             # mismatched orientation: the batch-scan engine answers every
             # entry in a few vectorised passes, so the per-entry constant is
-            # far below the per-entry cursor cost (the decode term prices
-            # the one-off lowering of the value heap, amortised over scans)
+            # far below the per-entry cursor cost.  The decode term prices
+            # the one-off lowering of the value heap; it disappears when the
+            # lowered tables are already warm (cached, or served straight
+            # from a segment's persisted tables).
+            if lowered_ready:
+                return entries * k.batch_entry_s
             return entries * (k.batch_entry_s + k.decode_cell_s)
         # payload / composite strategies are always backward-optimized
         if direction_backward:

@@ -23,19 +23,30 @@ Figure 4 of the paper:
 Every store is *oriented*: backward-optimized stores key by output cells,
 forward-optimized ones key by input cells (one sub-store per input array,
 since cells of different inputs would collide after bit-packing).  Queries
-against the matching orientation are hash probes / R-tree descents; queries
-against the wrong orientation fall back to a scan over every entry — the
-expensive mismatch the paper measures in Figure 6(b).  Those scans are
-*batched*: instead of probing each entry's value in a Python loop, the
-whole value heap is handed to :class:`repro.storage.codecs.BatchProbe`,
-which groups entries by codec tag and answers per-entry verdicts or
-intersections in a handful of vectorised passes (and its lowered tables are
-cached on the :class:`RegionEntryTable`, so repeat scans skip the header
+against the matching orientation are hash probes / R-tree descents — and
+R-tree candidate collection descends *once per query coordinate batch*
+(:meth:`~repro.storage.rtree.RTree.query_points`), not once per cell.
+Queries against the wrong orientation fall back to a scan over every entry
+— the expensive mismatch the paper measures in Figure 6(b).  Those scans
+are *batched*: the whole value heap is handed to
+:class:`repro.storage.codecs.BatchProbe`, which groups entries by codec tag
+and answers per-entry verdicts or intersections in a handful of vectorised
+passes (lowered tables cached on the :class:`RegionEntryTable` /
+:class:`~repro.storage.kvstore.BlobStore`, so repeat scans skip the header
 walk entirely).  The fixed-width hash layouts scan the same way, via one
-``isin_sorted`` pass over their key/value vectors.  Matched backward reads
-are in-situ too: candidate key sets are matched with one concatenated
-``searchsorted`` pass, and only the hit entries' values — and only the
-requested input's field — are ever decoded.
+``isin_sorted`` pass over their key/value vectors; payload layouts expose
+their columnar state (:meth:`OpLineageStore.payload_entries`) so the
+executor's payload scan batches too.  Matched backward reads are in-situ:
+candidate key sets are matched with one concatenated ``searchsorted`` pass,
+and only the hit entries' values — and only the requested input's field —
+are ever decoded.
+
+Persistence is *scan-ready*: each store flushes to ONE segment file
+(:mod:`repro.storage.segment`) holding its sorted columns, the R-tree, and
+the lowered batch-scan tables, so a store reloaded in a fresh process —
+lazily, via the :class:`~repro.core.catalog.StoreCatalog` — answers its
+first mismatched scan at warm speed (no codec header walk; see
+``docs/storage_format.md``).
 
 All public methods speak *packed* coordinates (int64, see
 :mod:`repro.arrays.coords`).
@@ -55,6 +66,7 @@ from repro.core.modes import (
 )
 from repro.errors import LineageError, StorageError
 from repro.storage import codecs
+from repro.storage import segment as seglib
 from repro.storage import serialize as ser
 from repro.storage.kvstore import BlobStore, HashStore
 from repro.storage.rtree import RTree
@@ -159,7 +171,7 @@ class RegionEntryTable:
             old_vlens = np.diff(self._voff)
             keys = np.concatenate([self._keys, new_keys])
             klens = np.concatenate([old_klens, new_klens])
-            vbuf = self._vbuf + new_vbuf
+            vbuf = bytes(self._vbuf) + new_vbuf  # bytes() lifts mmap-backed views
             vlens = np.concatenate([old_vlens, new_vlens])
         else:
             keys, klens, vbuf, vlens = new_keys, new_klens, new_vbuf, new_vlens
@@ -191,18 +203,18 @@ class RegionEntryTable:
     def candidate_entries(self, query_coords: np.ndarray) -> np.ndarray:
         """Entry ids whose bounding boxes contain any query coordinate.
 
-        Small queries probe the R-tree once per cell; large frontiers switch
-        to a spatial-join style vectorised sweep over the entry boxes (one
-        tree descent per cell would dominate when the frontier covers a
-        large fraction of the array).
+        Small queries descend the R-tree *once for the whole coordinate
+        batch* (:meth:`~repro.storage.rtree.RTree.query_points`, a few
+        vectorised passes per level — not one Python descent per cell);
+        large frontiers switch to a spatial-join style vectorised sweep
+        over the entry boxes.
         """
         self.finalize()
         if self._rtree is None or query_coords.shape[0] == 0:
             return np.empty(0, dtype=np.int64)
         n_entries = self._koff.size - 1
         if query_coords.shape[0] <= min(2048, max(64, n_entries // 8)):
-            hits = [self._rtree.query_point(coord) for coord in query_coords]
-            return np.unique(np.concatenate(hits))
+            return self._rtree.query_points(query_coords)
         qlo = query_coords.min(axis=0)
         qhi = query_coords.max(axis=0)
         box_hit = ((self._lo <= qhi) & (self._hi >= qlo)).all(axis=1)
@@ -253,7 +265,7 @@ class RegionEntryTable:
 
     def entry_value(self, entry_id: int) -> bytes:
         self.finalize()
-        return self._vbuf[self._voff[entry_id]: self._voff[entry_id + 1]]
+        return bytes(self._vbuf[self._voff[entry_id]: self._voff[entry_id + 1]])
 
     # -- in-situ value probes -----------------------------------------------------
     #
@@ -267,9 +279,11 @@ class RegionEntryTable:
         Built over the shared value heap (no per-entry byte slicing) and
         cached until new entries are finalized, so a scan's per-entry
         verdicts cost a few NumPy passes — and repeat scans skip even the
-        header walk.  ``ticker`` is called once per entry during the cold
-        field-offset walk (``field > 0``), so a query-time budget can
-        interrupt it.
+        header walk.  Segment-backed tables rehydrate these probes from
+        their persisted lowered tables, so a fresh process starts warm.
+        ``ticker`` is called once per batch (the cold field-offset walk for
+        ``field > 0`` counts as one batch), so a query-time budget
+        interrupts at batch boundaries only.
         """
         self.finalize()
         probe = self._probes.get(field)
@@ -280,15 +294,19 @@ class RegionEntryTable:
             elif field == 0:
                 offsets, ends = self._voff[:-1], self._voff[1:]
             else:
+                if ticker is not None:
+                    ticker()
                 offsets = np.empty(self._voff.size - 1, dtype=np.int64)
                 for e in range(offsets.size):
-                    if ticker is not None:
-                        ticker()
                     offsets[e] = self._value_offset(e, field)
                 ends = self._voff[1:]
             probe = codecs.BatchProbe(self._vbuf, offsets, ends)
             self._probes[field] = probe
         return probe
+
+    def probe_fields(self) -> set[int]:
+        """Fields whose lowered batch-probe tables are currently warm."""
+        return {f for f, p in self._probes.items() if p._lowered is not None}
 
     def value_cells(self, entry_id: int, field: int = 0) -> np.ndarray:
         """Decode one cell-set field of the entry value in place."""
@@ -332,15 +350,16 @@ class RegionEntryTable:
         offset = self._value_offset(entry_id, field)  # finalizes first
         return codecs.decoded_bounds(self._vbuf, offset)
 
-    def iter_entries(self):
-        """Cursor over ``(key_cells, value)`` — the mismatched-index path."""
+    def columns(self) -> tuple[np.ndarray, np.ndarray, bytes, np.ndarray]:
+        """The finalized columnar state ``(keys, koff, vbuf, voff)`` — entry
+        ``e`` owns key cells ``keys[koff[e]:koff[e+1]]`` and value bytes
+        ``vbuf[voff[e]:voff[e+1]]``.  This is the whole-table scan surface:
+        consumers batch over it instead of cursoring entry by entry."""
         self.finalize()
         if self._koff is None:
-            return
-        for e in range(self._koff.size - 1):
-            yield self._keys[self._koff[e]: self._koff[e + 1]], self._vbuf[
-                self._voff[e]: self._voff[e + 1]
-            ]
+            empty = np.empty(0, dtype=np.int64)
+            return empty, np.zeros(1, dtype=np.int64), b"", np.zeros(1, dtype=np.int64)
+        return self._keys, self._koff, self._vbuf, self._voff
 
     def all_key_cells(self) -> np.ndarray:
         self.finalize()
@@ -359,32 +378,75 @@ class RegionEntryTable:
 
     # -- persistence ---------------------------------------------------------------
 
-    def flush(self, path: str) -> int:
-        """Write the finalized table to one file; boxes and the R-tree are
-        derived data and rebuilt on load.  The value buffer is opaque at
-        this layer, so files whose values predate the codec tag bytes load
-        unchanged."""
-        import os
-        import struct
-
+    def dump(self, writer: seglib.SegmentWriter, prefix: str = "") -> None:
+        """Write the finalized table — columns, bounding boxes, R-tree, and
+        any warm lowered batch-probe tables — into a segment file.  The
+        value buffer is opaque at this layer, so values that predate the
+        codec tag bytes round-trip unchanged; the derived structures ride
+        along so a load serves queries without rebuilding anything."""
         self.finalize()
-        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
-        with open(path, "wb") as fh:
-            if self._koff is None:
-                fh.write(struct.pack("<qq", 0, 0))
-            else:
-                n = self._koff.size - 1
-                fh.write(struct.pack("<qq", n, self._keys.size))
-                fh.write(self._keys.astype("<i8").tobytes())
-                fh.write(self._koff.astype("<i8").tobytes())
-                fh.write(self._voff.astype("<i8").tobytes())
-                fh.write(self._vbuf)
-        return os.path.getsize(path)
+        if self._koff is None:
+            writer.add_json(prefix + "meta", {"n": 0, "probe_fields": []})
+            return
+        fields = sorted(self.probe_fields())
+        writer.add_json(
+            prefix + "meta",
+            {"n": int(self._koff.size - 1), "probe_fields": fields},
+        )
+        writer.add_array(prefix + "keys", self._keys)
+        writer.add_array(prefix + "koff", self._koff)
+        writer.add_array(prefix + "voff", self._voff)
+        writer.add_bytes(prefix + "vbuf", self._vbuf)
+        writer.add_array(prefix + "lo", self._lo)
+        writer.add_array(prefix + "hi", self._hi)
+        self._rtree.dump(writer, prefix + "rtree.")
+        for field in fields:
+            tables = self._probes[field].lowered_tables()
+            for tname in codecs.BatchProbe.LOWERED_NAMES:
+                writer.add_array(f"{prefix}probe{field}.{tname}", tables[tname])
+
+    @classmethod
+    def from_segment(
+        cls, seg: seglib.Segment, prefix: str, key_shape: tuple[int, ...]
+    ) -> "RegionEntryTable":
+        """Rehydrate a :meth:`dump`-ed table from mmap-backed sections: no
+        column copy, no box recomputation, no R-tree rebuild, and the
+        lowered batch-probe tables come back warm."""
+        table = cls(key_shape)
+        meta = seg.json(prefix + "meta")
+        if meta["n"] == 0:
+            return table
+        table._keys = seg.array(prefix + "keys")
+        table._koff = seg.array(prefix + "koff")
+        table._voff = seg.array(prefix + "voff")
+        table._vbuf = seg.view(prefix + "vbuf")
+        table._lo = seg.array(prefix + "lo")
+        table._hi = seg.array(prefix + "hi")
+        table._rtree = RTree.from_segment(seg, prefix + "rtree.")
+        for field in meta.get("probe_fields", []):
+            tables = {
+                tname: seg.array(f"{prefix}probe{field}.{tname}")
+                for tname in codecs.BatchProbe.LOWERED_NAMES
+            }
+            table._probes[int(field)] = codecs.BatchProbe.from_lowered(
+                table._vbuf, meta["n"], tables
+            )
+        return table
+
+    def flush(self, path: str) -> int:
+        """Write the finalized table to one segment file."""
+        writer = seglib.SegmentWriter()
+        self.dump(writer)
+        return writer.write(path)
 
     @classmethod
     def load(cls, path: str, key_shape: tuple[int, ...]) -> "RegionEntryTable":
         import struct
 
+        if seglib.is_segment_file(path):
+            return cls.from_segment(seglib.Segment.open(path), "", key_shape)
+        # legacy pre-segment layout: bare counts + columns; boxes and the
+        # R-tree are re-derived by finalize()
         table = cls(key_shape)
         with open(path, "rb") as fh:
             raw = fh.read()
@@ -399,8 +461,6 @@ class RegionEntryTable:
         voff = np.frombuffer(raw, dtype="<i8", count=n + 1, offset=offset).astype(np.int64)
         offset += 8 * (n + 1)
         vbuf = raw[offset:]
-        # re-register the data as pending chunks so finalize() rebuilds
-        # the bounding boxes and R-tree
         table._key_chunks = [keys]
         table._klen_chunks = [np.diff(koff)]
         table._val_chunks = [vbuf]
@@ -457,6 +517,8 @@ class OpLineageStore:
 
     # -- persistence -------------------------------------------------------
 
+    SEGMENT_FILENAME = "store.seg"
+
     def _components(self) -> dict[str, object]:
         """Named sub-stores, for flush/load; overridden per layout."""
         return {}
@@ -464,18 +526,88 @@ class OpLineageStore:
     def _set_component(self, name: str, obj) -> None:
         raise StorageError(f"{type(self).__name__} has no component {name!r}")
 
+    def warm_lowered_tables(self) -> None:
+        """Build the lowered batch-probe tables every mismatched scan of
+        this layout would need, so a flush persists them and a reloaded
+        store starts warm.  Overridden by the Full layouts; the payload
+        layouts scan columnar state and have nothing to lower."""
+
+    def lowered_ready(self) -> bool:
+        """True when a mismatched-orientation scan runs off cached/persisted
+        lowered tables — no codec header walk left to pay."""
+        return True
+
+    def flush_segment(self, path: str) -> int:
+        """Persist the whole store as ONE segment file — every component
+        plus the lowered batch-probe tables — and return bytes written."""
+        self.finalize_if_possible()
+        self.warm_lowered_tables()
+        writer = seglib.SegmentWriter()
+        writer.add_json(
+            "store",
+            {
+                "node": self.node,
+                "strategy": self.strategy.label,
+                "components": list(self._components()),
+            },
+        )
+        for name, component in self._components().items():
+            component.dump(writer, prefix=f"{name}.")
+        return writer.write(path)
+
+    def load_segment(self, source) -> None:
+        """Replace every component with its counterpart in ``source`` (a
+        path or an open :class:`~repro.storage.segment.Segment`).  Sections
+        stay mmap-backed: nothing is decoded or copied until a query
+        touches it."""
+        if isinstance(source, seglib.Segment):
+            seg = source
+        else:
+            seg = seglib.Segment.open(source)
+        meta = seg.json("store")
+        if (
+            meta.get("node") != self.node
+            or meta.get("strategy") != self.strategy.label
+            or set(meta.get("components", ())) != set(self._components())
+        ):
+            raise StorageError(
+                f"segment {seg.path!r} holds store "
+                f"({meta.get('node')!r}, {meta.get('strategy')!r}); "
+                f"refusing to load it into ({self.node!r}, {self.strategy.label!r})"
+            )
+        for name, component in self._components().items():
+            prefix = f"{name}."
+            if isinstance(component, HashStore):
+                self._set_component(name, HashStore.from_segment(seg, prefix, name))
+            elif isinstance(component, BlobStore):
+                self._set_component(name, BlobStore.from_segment(seg, prefix, name))
+            else:
+                self._set_component(
+                    name,
+                    RegionEntryTable.from_segment(seg, prefix, component.key_shape),
+                )
+
     def flush_to(self, directory: str) -> int:
-        """Persist every component under ``directory``; returns bytes written."""
+        """Persist the store under ``directory``; returns bytes written."""
         import os
 
-        os.makedirs(directory, exist_ok=True)
-        total = 0
-        for name, component in self._components().items():
-            total += component.flush(os.path.join(directory, f"{name}.bin"))
-        return total
+        return self.flush_segment(os.path.join(directory, self.SEGMENT_FILENAME))
 
     def load_from(self, directory: str) -> None:
         """Replace every component with its persisted counterpart."""
+        import os
+
+        path = os.path.join(directory, self.SEGMENT_FILENAME)
+        if os.path.exists(path):
+            self.load_segment(path)
+        else:
+            self.load_legacy_components(directory)
+
+    def load_legacy_components(self, directory: str) -> None:
+        """Load a pre-segment flush: one ``<component>.bin`` per component
+        (each loader sniffs the magic, so bare legacy files and segment
+        files both parse) — kept so directories flushed before the
+        segmented format still serve."""
         import os
 
         for name, component in self._components().items():
@@ -485,8 +617,9 @@ class OpLineageStore:
             elif isinstance(component, BlobStore):
                 self._set_component(name, BlobStore.load(path, name))
             else:
-                shape = component.key_shape
-                self._set_component(name, RegionEntryTable.load(path, shape))
+                self._set_component(
+                    name, RegionEntryTable.load(path, component.key_shape)
+                )
 
     # -- matched-orientation reads -------------------------------------------
 
@@ -528,7 +661,16 @@ class OpLineageStore:
     ) -> tuple[np.ndarray, list[np.ndarray]]:
         raise LineageError(f"{self.strategy.label} cannot serve scan_backward_full")
 
-    def scan_payload_entries(self):
+    def payload_entries(self) -> tuple[np.ndarray, np.ndarray, bytes, np.ndarray]:
+        """Columnar view of every payload entry: ``(keys, koff, vbuf, voff)``
+        where entry ``e`` owns key cells ``keys[koff[e]:koff[e+1]]`` and
+        payload bytes ``vbuf[voff[e]:voff[e+1]]``.
+
+        This replaces the old per-entry cursor: a mismatched payload scan
+        batches over the columns (one vectorised key-length split, one
+        ``map_p`` batch for the single-cell entries) instead of looping a
+        Python generator over every stored entry.
+        """
         raise LineageError(f"{self.strategy.label} stores no payload entries")
 
     def overridden_keys(self) -> np.ndarray:
@@ -613,6 +755,15 @@ class _FullBackwardOne(OpLineageStore):
                     )
         return matched, [_concat(parts) for parts in per_input]
 
+    def warm_lowered_tables(self) -> None:
+        for i in range(self.arity):
+            self._blobs.batch_probe(field=i).lowered_tables()
+
+    def lowered_ready(self) -> bool:
+        if len(self._blobs) == 0:
+            return True
+        return set(range(self.arity)) <= self._blobs.probe_fields()
+
     def scan_forward_full(self, qpacked, input_idx, ticker=None):
         query = np.sort(qpacked)
         parts: list[np.ndarray] = []
@@ -694,6 +845,15 @@ class _FullBackwardMany(OpLineageStore):
     def candidate_entries(self, coords: np.ndarray) -> np.ndarray:
         return self._table.candidate_entries(coords)
 
+    def warm_lowered_tables(self) -> None:
+        for i in range(self.arity):
+            self._table.batch_probe(field=i).lowered_tables()
+
+    def lowered_ready(self) -> bool:
+        if self._table.n_entries == 0:
+            return True
+        return set(range(self.arity)) <= self._table.probe_fields()
+
     def scan_forward_full(self, qpacked, input_idx, ticker=None):
         query = np.sort(qpacked)
         verdicts = self._table.batch_probe(
@@ -760,6 +920,12 @@ class _FullForwardOne(OpLineageStore):
             arr, _ = ser.decode_int_array(self._blobs.get(int(ref)))
             parts.append(arr)
         return _concat(parts)
+
+    def warm_lowered_tables(self) -> None:
+        self._blobs.batch_probe().lowered_tables()
+
+    def lowered_ready(self) -> bool:
+        return len(self._blobs) == 0 or 0 in self._blobs.probe_fields()
 
     def scan_backward_full(self, qpacked, ticker=None):
         query = np.sort(qpacked)
@@ -851,6 +1017,16 @@ class _FullForwardMany(OpLineageStore):
                 parts.append(arr)
         return _concat(parts)
 
+    def warm_lowered_tables(self) -> None:
+        for table in self._tables:
+            table.batch_probe().lowered_tables()
+
+    def lowered_ready(self) -> bool:
+        return all(
+            table.n_entries == 0 or 0 in table.probe_fields()
+            for table in self._tables
+        )
+
     def scan_backward_full(self, qpacked, ticker=None):
         query = np.sort(qpacked)
         matched_cells: list[np.ndarray] = []
@@ -930,9 +1106,10 @@ class _PayBackwardOne(OpLineageStore):
             matched[qidx] = True
         return matched, qpacked[qidx], values
 
-    def scan_payload_entries(self):
-        for key, value in self._hash.scan():
-            yield np.asarray([key], dtype=np.int64), value
+    def payload_entries(self):
+        keys, voff, vbuf = self._hash.columns()
+        koff = np.arange(keys.size + 1, dtype=np.int64)  # one key cell per entry
+        return keys, koff, vbuf, voff
 
     def overridden_keys(self) -> np.ndarray:
         return np.unique(self._hash.keys_array())
@@ -996,8 +1173,8 @@ class _PayBackwardMany(OpLineageStore):
         matched = np.isin(qpacked, _concat(matched_cells))
         return matched, pairs
 
-    def scan_payload_entries(self):
-        yield from self._table.iter_entries()
+    def payload_entries(self):
+        return self._table.columns()
 
     def overridden_keys(self) -> np.ndarray:
         return np.unique(self._table.all_key_cells())

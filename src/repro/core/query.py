@@ -44,29 +44,22 @@ class _BudgetExceeded(Exception):
 class _Budget:
     """Wall-clock budget.
 
-    ``tick`` is throttled (one deadline test per 512 calls) so per-entry
-    loops — payload cursor scans and BatchProbe's cold lowering walk — can
-    afford calling it once per entry; ``check`` tests the deadline on every
-    call, for code with only a few natural checkpoints.
+    ``tick`` tests the deadline on every call because every call site is
+    now per *batch*, not per entry: BatchProbe's lowering walk ticks once
+    per codec-tag batch, the blob/table field-offset walks tick once per
+    walk, and payload scans tick per column pass.  That keeps the check
+    itself off the hot path — and means a cold lowering walk can only be
+    interrupted at batch boundaries, so a budget that fires mid-scan no
+    longer throws away an almost-finished (and cacheable) lowering.
     """
 
-    __slots__ = ("deadline", "_start", "_counter")
+    __slots__ = ("deadline", "_start")
 
     def __init__(self, seconds: float | None):
         self.deadline = seconds
         self._start = time.perf_counter()
-        self._counter = 0
 
     def tick(self) -> None:
-        if self.deadline is None:
-            return
-        self._counter += 1
-        if self._counter & 0x1FF:  # check every 512 ticks
-            return
-        if time.perf_counter() - self._start > self.deadline:
-            raise _BudgetExceeded
-
-    def check(self) -> None:
         if self.deadline is not None and time.perf_counter() - self._start > self.deadline:
             raise _BudgetExceeded
 
@@ -309,7 +302,13 @@ class QueryExecutor:
             candidates.append(BLACKBOX)
         best, best_cost = None, float("inf")
         for strategy in candidates:
-            cost = self.cost_model.query_seconds(node, strategy, backward, n_cells)
+            cost = self.cost_model.query_seconds(
+                node,
+                strategy,
+                backward,
+                n_cells,
+                lowered_ready=self.runtime.lowered_ready(node, strategy),
+            )
             if cost < best_cost:
                 best, best_cost = strategy, cost
         return best if best is not None else BLACKBOX
@@ -439,33 +438,53 @@ class QueryExecutor:
     ) -> np.ndarray:
         query = np.sort(qpacked)
         parts: list[np.ndarray] = []
-        single_coords: list[np.ndarray] = []
-        single_payloads: list[bytes] = []
-        single_packed: list[int] = []
-        for out_packed, payload in store.scan_payload_entries():
-            if budget is not None:
-                budget.tick()
-            coords = C.unpack_coords(out_packed, out_shape)
-            if coords.shape[0] == 1:
-                single_coords.append(coords)
-                single_payloads.append(payload)
-                single_packed.append(int(out_packed[0]))
-            elif op.payload_uniform:
-                cells = op.map_p_many(coords, payload, idx)
-                if C.isin_sorted(C.pack_coords(cells, in_shape), query).any():
-                    parts.append(out_packed)
-            else:
-                for i in range(coords.shape[0]):
-                    cells = op.map_p_many(coords[i: i + 1], payload, idx)
+        # columnar scan surface: one key-length split over the whole store,
+        # then one vectorised map_p batch for the single-cell entries —
+        # the per-entry cursor loop this path used to run is gone
+        keys, koff, vbuf, voff = store.payload_entries()
+        if budget is not None:
+            budget.tick()
+        n_entries = koff.size - 1
+        if n_entries:
+            klens = np.diff(koff)
+            single = np.flatnonzero(klens == 1)
+            multi = np.flatnonzero(klens != 1)
+            if single.size:
+                out_packed = np.asarray(keys[koff[single]], dtype=np.int64)
+                starts = voff[single]
+                vlens = voff[single + 1] - starts
+                width = int(vlens[0])
+                if (vlens == width).all():
+                    # fixed-width payloads: one fancy-indexed gather into an
+                    # (n, width) matrix, no per-entry byte slicing
+                    raw = np.frombuffer(vbuf, dtype=np.uint8)
+                    payloads = raw[starts[:, None] + np.arange(width, dtype=np.int64)]
+                else:
+                    payloads = [bytes(vbuf[voff[e]: voff[e + 1]]) for e in single]
+                coords = C.unpack_coords(out_packed, out_shape)
+                cells, rows = op.map_p_batch(coords, payloads, idx)
+                inp = C.pack_coords(cells, in_shape)
+                hit_rows = np.unique(rows[C.isin_sorted(inp, query)])
+                if hit_rows.size:
+                    parts.append(out_packed[hit_rows])
+            for e in multi:
+                # multi-cell region-pair payloads: map_p is op-defined per
+                # pair, so these few entries keep a per-pair call
+                if budget is not None:
+                    budget.tick()
+                e = int(e)
+                out_packed = np.asarray(keys[koff[e]: koff[e + 1]], dtype=np.int64)
+                payload = bytes(vbuf[voff[e]: voff[e + 1]])
+                coords = C.unpack_coords(out_packed, out_shape)
+                if op.payload_uniform:
+                    cells = op.map_p_many(coords, payload, idx)
                     if C.isin_sorted(C.pack_coords(cells, in_shape), query).any():
-                        parts.append(out_packed[i: i + 1])
-        if single_coords:
-            coords = np.concatenate(single_coords)
-            cells, rows = op.map_p_batch(coords, single_payloads, idx)
-            inp = C.pack_coords(cells, in_shape)
-            hit_rows = np.unique(rows[np.isin(inp, query)])
-            if hit_rows.size:
-                parts.append(np.asarray(single_packed, dtype=np.int64)[hit_rows])
+                        parts.append(out_packed)
+                else:
+                    for i in range(coords.shape[0]):
+                        cells = op.map_p_many(coords[i: i + 1], payload, idx)
+                        if C.isin_sorted(C.pack_coords(cells, in_shape), query).any():
+                            parts.append(out_packed[i: i + 1])
         if strategy.mode is LineageMode.COMP:
             coords = C.unpack_coords(qpacked, in_shape)
             default = C.pack_coords(op.map_f_many(coords, idx), out_shape)

@@ -34,6 +34,9 @@ class LineageRuntime:
         self.profile = profile
         self._strategies: dict[str, tuple[StorageStrategy, ...]] = {}
         self._stores: dict[tuple[str, StorageStrategy], OpLineageStore] = {}
+        #: lazy-open view over a flushed workflow (attached by load_all);
+        #: stores it records are opened on first access via store_for
+        self._catalog = None
 
     # -- strategy assignment ---------------------------------------------------
 
@@ -122,22 +125,66 @@ class LineageRuntime:
     # -- query-side accessors ---------------------------------------------------------
 
     def store_for(self, node: str, strategy: StorageStrategy) -> OpLineageStore | None:
-        return self._stores.get((node, strategy))
+        """The store serving (node, strategy) — opened lazily from the
+        attached catalog on first access when not resident."""
+        store = self._stores.get((node, strategy))
+        if store is None and self._catalog is not None:
+            store = self._catalog.open_store(node, strategy)
+            if store is not None:
+                self._stores[(node, strategy)] = store
+        return store
 
     def stores_for_node(self, node: str) -> list[OpLineageStore]:
+        """Resident stores only — catalog entries stay unopened (use
+        :meth:`store_for` per strategy to materialise one deliberately)."""
         return [
             store for (n, _), store in self._stores.items() if n == node
         ]
 
+    def lowered_ready(self, node: str, strategy: StorageStrategy) -> bool:
+        """True when (node, strategy)'s mismatched scans would run off warm
+        lowered tables — resident-and-cached, or persisted in the catalog's
+        segment.  Answered without opening anything."""
+        store = self._stores.get((node, strategy))
+        if store is not None:
+            return store.lowered_ready()
+        if self._catalog is not None:
+            return self._catalog.lowered_ready(node, strategy)
+        return False
+
     # -- accounting ---------------------------------------------------------------------
 
+    def _store_bytes(self, key: tuple[str, StorageStrategy], store) -> int:
+        """One unit for accounting: catalog-backed stores always report
+        their manifest (segment file) size — opened or not — so the totals
+        neither force a segment open nor drift as queries lazily open
+        stores; resident stores report their logical footprint."""
+        if self._catalog is not None and self._catalog.is_catalog_store(*key, store):
+            entry = self._catalog.entry(*key)
+            if entry is not None:
+                return entry.nbytes
+        return store.disk_bytes() if store is not None else 0
+
     def total_disk_bytes(self) -> int:
-        return sum(store.disk_bytes() for store in self._stores.values())
+        total = sum(
+            self._store_bytes(key, store) for key, store in self._stores.items()
+        )
+        if self._catalog is not None:
+            total += sum(
+                entry.nbytes
+                for entry in self._catalog.entries()
+                if entry.key not in self._stores
+            )
+        return total
 
     def disk_bytes_by_node(self) -> dict[str, int]:
         out: dict[str, int] = {}
-        for (node, _), store in self._stores.items():
-            out[node] = out.get(node, 0) + store.disk_bytes()
+        for key, store in self._stores.items():
+            out[key[0]] = out.get(key[0], 0) + self._store_bytes(key, store)
+        if self._catalog is not None:
+            for entry in self._catalog.entries():
+                if entry.key not in self._stores:
+                    out[entry.node] = out.get(entry.node, 0) + entry.nbytes
         return out
 
     def total_write_seconds(self) -> float:
@@ -145,54 +192,56 @@ class LineageRuntime:
 
     def clear_stores(self) -> None:
         self._stores.clear()
+        self._catalog = None
 
     # -- persistence --------------------------------------------------------------------
 
-    @staticmethod
-    def _store_dirname(node: str, strategy: StorageStrategy) -> str:
-        parts = [node, strategy.mode.value]
-        if strategy.encoding is not None:
-            parts.append(strategy.encoding.value)
-        if strategy.orientation is not None:
-            parts.append(strategy.orientation.value)
-        return "__".join(parts)
-
     def flush_all(self, directory: str) -> int:
-        """Persist every lineage store under ``directory`` with a manifest;
-        returns total bytes written.  Region lineage stays a cache — this
-        just lets a later session skip rebuilding it."""
-        import json
-        import os
+        """Persist every lineage store under ``directory`` as one segment
+        file each (lowered batch-scan tables included) plus a workflow
+        manifest (``catalog.json``); returns total bytes written.  Region
+        lineage stays a cache — this just lets a later session serve it
+        straight off disk instead of rebuilding it.
 
-        os.makedirs(directory, exist_ok=True)
-        manifest = []
-        total = 0
-        for (node, strategy), store in self._stores.items():
-            sub = self._store_dirname(node, strategy)
-            total += store.flush_to(os.path.join(directory, sub))
-            manifest.append(
-                {
-                    "node": node,
-                    "mode": strategy.mode.value,
-                    "encoding": strategy.encoding.value if strategy.encoding else None,
-                    "orientation": (
-                        strategy.orientation.value if strategy.orientation else None
-                    ),
-                    "out_shape": list(store.out_shape),
-                    "in_shapes": [list(s) for s in store.in_shapes],
-                    "dir": sub,
-                }
-            )
-        with open(os.path.join(directory, "manifest.json"), "w", encoding="utf-8") as fh:
-            json.dump(manifest, fh, indent=2, sort_keys=True)
+        When a catalog is attached, its entries that no query has opened
+        yet are opened first, so a lazy ``load_all`` followed by a
+        ``flush_all`` is lossless instead of silently dropping the stores
+        nobody touched."""
+        from repro.core.catalog import StoreCatalog
+
+        if self._catalog is not None:
+            for node, strategy in self._catalog.keys():
+                self.store_for(node, strategy)
+        _, total = StoreCatalog.write(directory, self._stores)
         return total
 
     def load_all(self, directory: str) -> int:
-        """Recreate every store recorded in ``directory``'s manifest."""
+        """Attach the catalog flushed to ``directory``; returns the number
+        of stores it records.
+
+        Nothing is materialised here: the manifest alone is read, the
+        recorded strategies are registered so the query planner sees them,
+        and each store's segment is opened lazily (mmap-backed) the first
+        time a query asks for it via :meth:`store_for`.  Directories
+        flushed before the segmented format (a ``manifest.json`` with
+        per-component ``.bin`` files) still load, eagerly, via the legacy
+        fallback."""
+        import os
+
+        from repro.core.catalog import MANIFEST_NAME, StoreCatalog
+
+        if not os.path.exists(os.path.join(directory, MANIFEST_NAME)) and os.path.exists(
+            os.path.join(directory, "manifest.json")
+        ):
+            return self._load_legacy_manifest(directory)
+        return self.attach_catalog(StoreCatalog.open(directory))
+
+    def _load_legacy_manifest(self, directory: str) -> int:
+        """Eagerly recreate every store of a pre-segment ``manifest.json``
+        flush (the old directory-of-``.bin``-files layout)."""
         import json
         import os
 
-        from repro.core.lineage_store import make_store
         from repro.core.modes import EncodingKind, Orientation
 
         with open(os.path.join(directory, "manifest.json"), encoding="utf-8") as fh:
@@ -212,10 +261,19 @@ class LineageRuntime:
                 tuple(entry["out_shape"]),
                 tuple(tuple(s) for s in entry["in_shapes"]),
             )
-            store.load_from(os.path.join(directory, entry["dir"]))
+            store.load_legacy_components(os.path.join(directory, entry["dir"]))
             self._stores[(entry["node"], strategy)] = store
             existing = self._strategies.get(entry["node"], ())
             if strategy not in existing:
                 self._strategies[entry["node"]] = existing + (strategy,)
             loaded += 1
         return loaded
+
+    def attach_catalog(self, catalog) -> int:
+        """Serve queries from an already-open :class:`StoreCatalog`."""
+        self._catalog = catalog
+        for node, strategy in catalog.keys():
+            existing = self._strategies.get(node, ())
+            if strategy not in existing:
+                self._strategies[node] = existing + (strategy,)
+        return len(catalog)

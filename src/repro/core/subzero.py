@@ -126,6 +126,63 @@ class SubZero:
         )
         return self.instance
 
+    # -- persistence / resumption ---------------------------------------------------
+
+    def flush_lineage(self, directory: str) -> int:
+        """Persist every materialised lineage store under ``directory`` as
+        segment files plus a catalog manifest; returns bytes written."""
+        if self.runtime is None:
+            raise WorkflowError("execute the workflow before flushing lineage")
+        return self.runtime.flush_all(directory)
+
+    def load_lineage(self, directory: str) -> int:
+        """Attach a flushed lineage catalog for lazy serving.
+
+        Only the manifest is read; individual stores open (mmap-backed, no
+        decode) on the first query that needs them.  Returns the number of
+        stores the catalog records."""
+        if self.runtime is None:
+            self.runtime = LineageRuntime(stats=self.stats)
+        loaded = self.runtime.load_all(directory)
+        if self.instance is not None:
+            self.executor = QueryExecutor(
+                self.instance,
+                self.runtime,
+                cost_model=self.cost_model,
+                enable_entire_array=self.enable_entire_array,
+                enable_query_opt=self.enable_query_opt,
+            )
+        return loaded
+
+    def resume(
+        self,
+        versions: VersionStore,
+        wal: WriteAheadLog | None = None,
+        lineage_dir: str | None = None,
+    ) -> WorkflowInstance:
+        """Rebuild a queryable engine in a fresh process without re-running.
+
+        The instance comes back from the WAL + version store (black-box
+        lineage, §V-a); ``lineage_dir`` additionally attaches a flushed
+        region-lineage catalog, so backward/forward queries — including
+        mismatched-orientation scans, served from the segments' persisted
+        lowered tables — run straight off disk."""
+        from repro.workflow.recovery import recover_instance
+
+        self.instance = recover_instance(self.spec, versions, wal or self.wal)
+        if self.runtime is None:
+            self.runtime = LineageRuntime(stats=self.stats)
+        if lineage_dir is not None:
+            self.runtime.load_all(lineage_dir)
+        self.executor = QueryExecutor(
+            self.instance,
+            self.runtime,
+            cost_model=self.cost_model,
+            enable_entire_array=self.enable_entire_array,
+            enable_query_opt=self.enable_query_opt,
+        )
+        return self.instance
+
     # -- queries ------------------------------------------------------------------------
 
     def _require_executor(self) -> QueryExecutor:

@@ -960,9 +960,12 @@ class BatchProbe:
     def _lower(self, ticker=None) -> _LoweredHeap:
         """One header walk over the heap, grouping entries by tag byte.
 
-        ``ticker`` is called once per entry — the cold lowering pass is the
-        only per-entry loop left in a scan, so it is where a query-time
-        budget must be able to interrupt.
+        The tag bytes are gathered in one vectorised pass, and ``ticker``
+        is called once per *codec-tag batch* (at most once per tag), not
+        once per entry: the cold lowering is an investment whose tables are
+        cached for every later scan, so a query-time budget may only
+        interrupt it at batch boundaries instead of aborting — and thereby
+        discarding — a nearly-finished walk.
         """
         if self._lowered is not None:
             return self._lowered
@@ -973,31 +976,43 @@ class BatchProbe:
         cell_v: list[np.ndarray] = []
         cell_id: list[np.ndarray] = []
         bm: list[tuple[int, int, int, int, int]] = []
-        for e in range(self.n_entries):
-            if ticker is not None:
-                ticker()
-            offset = int(self._offsets[e])
-            end = int(self._ends[e])
-            if offset >= end:
-                raise StorageError(f"entry {e} has no cell-set value")
-            codec = _codec_at(buf, offset)
-            if codec.skip(buf, offset) > end:
-                raise StorageError(f"entry {e} value overruns its heap slot")
-            if codec.tag == TAG_INTERVAL:
-                starts, lens, _, _ = INTERVAL._run_table(buf, offset)
-                run_s.append(starts)
-                run_e.append(starts + lens - 1)
-                run_id.append(np.full(starts.size, e, dtype=np.int64))
-            elif codec.tag == TAG_BITMAP:
-                _, m, base, pos = BITMAP._header(buf, offset)
-                # clamp like _query_mask: pad bits may address past int64
-                cap = min(base + 8 * m - 1, 2**63 - 1)
-                bm.append((e, base, cap, pos, m))
-            else:  # delta / raw: expanded once into the concatenated table
-                values, _ = codec.decode(buf, offset)
-                if values.size:
-                    cell_v.append(values)
-                    cell_id.append(np.full(values.size, e, dtype=np.int64))
+        if self.n_entries:
+            short = self._offsets >= self._ends
+            if short.any():
+                raise StorageError(
+                    f"entry {int(np.argmax(short))} has no cell-set value"
+                )
+            src = np.frombuffer(buf, dtype=np.uint8)
+            if int(self._offsets.max()) >= src.size:
+                raise StorageError("batch probe offsets overrun the heap")
+            tags = src[self._offsets]
+            for tag in np.unique(tags):
+                codec = codec_for_tag(int(tag))  # raises on unknown tags
+                if ticker is not None:
+                    ticker()
+                # entry ids ascend within each tag group, so the interval
+                # run table stays in (entry, run) order
+                for e in np.flatnonzero(tags == tag):
+                    e = int(e)
+                    offset = int(self._offsets[e])
+                    end = int(self._ends[e])
+                    if codec.skip(buf, offset) > end:
+                        raise StorageError(f"entry {e} value overruns its heap slot")
+                    if codec.tag == TAG_INTERVAL:
+                        starts, lens, _, _ = INTERVAL._run_table(buf, offset)
+                        run_s.append(starts)
+                        run_e.append(starts + lens - 1)
+                        run_id.append(np.full(starts.size, e, dtype=np.int64))
+                    elif codec.tag == TAG_BITMAP:
+                        _, m, base, pos = BITMAP._header(buf, offset)
+                        # clamp like _query_mask: pad bits may address past int64
+                        cap = min(base + 8 * m - 1, 2**63 - 1)
+                        bm.append((e, base, cap, pos, m))
+                    else:  # delta / raw: expanded once into the concatenated table
+                        values, _ = codec.decode(buf, offset)
+                        if values.size:
+                            cell_v.append(values)
+                            cell_id.append(np.full(values.size, e, dtype=np.int64))
         lowered = _LoweredHeap()
         lowered.run_starts = _concat_i64(run_s)
         lowered.run_ends = _concat_i64(run_e)
@@ -1008,6 +1023,46 @@ class BatchProbe:
         lowered.bm_eid, lowered.bm_base, lowered.bm_cap, lowered.bm_pos, lowered.bm_len = cols
         self._lowered = lowered
         return lowered
+
+    # -- lowered-table persistence ------------------------------------------
+
+    #: flat int64 tables of a lowered heap, in persistence order; ``bm``
+    #: additionally packs the bitmap descriptor columns as one (5, k) matrix
+    LOWERED_NAMES = ("run_starts", "run_ends", "run_eid", "cell_values", "cell_eid", "bm")
+
+    def lowered_tables(self, ticker=None) -> dict[str, np.ndarray]:
+        """The lowered tables as flat int64 arrays, for persistence.
+
+        ``bm`` is the ``(5, k)`` bitmap descriptor matrix ``(entry, base,
+        cap, pos, len)``; positions index into the same heap buffer the
+        probe was built over, so the tables round-trip alongside the heap.
+        """
+        t = self._lower(ticker)
+        out = {
+            name: getattr(t, name)
+            for name in ("run_starts", "run_ends", "run_eid", "cell_values", "cell_eid")
+        }
+        out["bm"] = np.stack([t.bm_eid, t.bm_base, t.bm_cap, t.bm_pos, t.bm_len])
+        return out
+
+    @classmethod
+    def from_lowered(cls, buf, n_entries: int, tables) -> "BatchProbe":
+        """Reconstruct a probe from persisted lowered tables over ``buf``.
+
+        The inverse of :meth:`lowered_tables`: no header walk and no decode
+        happen — the probe is warm immediately, which is how a segment-backed
+        store serves its first mismatched scan at cached-table speed.
+        """
+        probe = cls(buf, np.empty(0, dtype=np.int64))
+        probe.n_entries = int(n_entries)
+        t = _LoweredHeap()
+        for name in ("run_starts", "run_ends", "run_eid", "cell_values", "cell_eid"):
+            t_arr = np.asarray(tables[name], dtype=np.int64)
+            setattr(t, name, t_arr)
+        bm = np.asarray(tables["bm"], dtype=np.int64).reshape(5, -1)
+        t.bm_eid, t.bm_base, t.bm_cap, t.bm_pos, t.bm_len = bm
+        probe._lowered = t
+        return probe
 
     def _bitmap_window(self, t: _LoweredHeap, query: np.ndarray):
         """Per-bitmap-entry query windows ``(lo, hi)`` after the vectorised

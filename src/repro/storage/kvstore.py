@@ -27,7 +27,6 @@ keep loading.
 
 from __future__ import annotations
 
-import os
 import struct
 from dataclasses import dataclass
 
@@ -36,6 +35,7 @@ import numpy as np
 from repro.arrays.coords import expand_ranges
 from repro.errors import StorageError
 from repro.storage import codecs
+from repro.storage import segment as seglib
 from repro.storage import serialize as ser
 
 __all__ = ["HashStore", "BlobStore"]
@@ -45,7 +45,7 @@ __all__ = ["HashStore", "BlobStore"]
 class _Chunk:
     keys: np.ndarray  # int64 (n,)
     offsets: np.ndarray  # int64 (n + 1,) into buf
-    buf: bytes
+    buf: bytes  # any bytes-like (loaded segments pass an mmap-backed view)
 
     @property
     def nbytes(self) -> int:
@@ -216,6 +216,17 @@ class HashStore:
         )
         return seg.keys, values
 
+    def columns(self) -> tuple[np.ndarray, np.ndarray, bytes]:
+        """The finalized columnar state ``(keys, offsets, buf)`` — entry
+        ``i``'s value is ``buf[offsets[i]:offsets[i+1]]``.  This is the
+        whole-store scan surface: consumers batch over it instead of
+        cursoring entry by entry."""
+        self.finalize()
+        if self._segment is None:
+            return np.empty(0, dtype=np.int64), np.zeros(1, dtype=np.int64), b""
+        seg = self._segment
+        return seg.keys, seg.offsets, seg.buf
+
     def keys_array(self) -> np.ndarray:
         """All stored keys (sorted, with duplicates)."""
         self.finalize()
@@ -237,23 +248,43 @@ class HashStore:
             total += chunk.keys.size * 8 + len(chunk.buf)
         return total
 
+    def dump(self, writer: seglib.SegmentWriter, prefix: str = "") -> None:
+        """Write the finalized segment's columns into a segment file."""
+        self.finalize()
+        if self._segment is None:
+            writer.add_json(prefix + "meta", {"n": 0})
+            return
+        seg = self._segment
+        writer.add_json(prefix + "meta", {"n": int(seg.keys.size)})
+        writer.add_array(prefix + "keys", seg.keys)
+        writer.add_array(prefix + "offsets", seg.offsets)
+        writer.add_bytes(prefix + "buf", seg.buf)
+
+    @classmethod
+    def from_segment(
+        cls, seg: seglib.Segment, prefix: str = "", name: str = "hashstore"
+    ) -> "HashStore":
+        """Rehydrate from mmap-backed sections — no copy, no decode."""
+        store = cls(name)
+        if seg.json(prefix + "meta")["n"]:
+            store._segment = _Chunk(
+                seg.array(prefix + "keys"),
+                seg.array(prefix + "offsets"),
+                seg.view(prefix + "buf"),
+            )
+        return store
+
     def flush(self, path: str) -> int:
         """Write the finalized segment to ``path``; returns bytes written."""
-        self.finalize()
-        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
-        with open(path, "wb") as fh:
-            if self._segment is None:
-                fh.write(struct.pack("<q", 0))
-            else:
-                seg = self._segment
-                fh.write(struct.pack("<q", seg.keys.size))
-                fh.write(seg.keys.astype("<i8").tobytes())
-                fh.write(seg.offsets.astype("<i8").tobytes())
-                fh.write(seg.buf)
-        return os.path.getsize(path)
+        writer = seglib.SegmentWriter()
+        self.dump(writer)
+        return writer.write(path)
 
     @classmethod
     def load(cls, path: str, name: str = "hashstore") -> "HashStore":
+        if seglib.is_segment_file(path):
+            return cls.from_segment(seglib.Segment.open(path), "", name)
+        # legacy pre-segment layout: bare <q count + columns
         store = cls(name)
         with open(path, "rb") as fh:
             raw = fh.read()
@@ -274,87 +305,149 @@ class HashStore:
 
 
 class BlobStore:
-    """Append-only byte-blob storage with integer ids."""
+    """Append-only byte-blob storage with integer ids.
+
+    The finalized state is one concatenated heap plus start/end offsets —
+    the same shape :class:`~repro.storage.codecs.BatchProbe` consumes and
+    the segment format persists, so a segment-backed load is a zero-copy
+    rehydration (the heap stays an mmap view).  Appends land in a pending
+    list and are joined into the heap lazily.
+    """
 
     def __init__(self, name: str = "blobs"):
         self.name = name
-        self._blobs: list[bytes] = []
-        self._nbytes = 0
-        self._heap: tuple[bytes, np.ndarray, np.ndarray] | None = None
+        self._buf = b""  # any bytes-like; loaded segments pass an mmap view
+        self._starts = np.empty(0, dtype=np.int64)
+        self._ends = np.empty(0, dtype=np.int64)
+        self._pending: list[bytes] = []
         self._probes: dict = {}
 
+    def _finalize(self) -> None:
+        if not self._pending:
+            return
+        lengths = np.asarray([len(b) for b in self._pending], dtype=np.int64)
+        base = len(self._buf)
+        new_ends = base + np.cumsum(lengths)
+        self._buf = bytes(self._buf) + b"".join(self._pending)
+        self._starts = np.concatenate([self._starts, new_ends - lengths])
+        self._ends = np.concatenate([self._ends, new_ends])
+        self._pending = []
+
     def append(self, data: bytes) -> int:
-        self._blobs.append(bytes(data))
-        self._nbytes += len(data)
-        self._heap = None
+        self._pending.append(bytes(data))
         self._probes = {}
-        return len(self._blobs) - 1
+        return self._ends.size + len(self._pending) - 1
 
     def append_many(self, blobs: list[bytes]) -> np.ndarray:
-        start = len(self._blobs)
+        start = len(self)
         for blob in blobs:
-            self._blobs.append(bytes(blob))
-            self._nbytes += len(blob)
-        self._heap = None
+            self._pending.append(bytes(blob))
         self._probes = {}
-        return np.arange(start, len(self._blobs), dtype=np.int64)
+        return np.arange(start, len(self), dtype=np.int64)
 
     def batch_probe(self, field: int = 0, ticker=None) -> "codecs.BatchProbe":
         """Vectorised prober over every blob's cell-set ``field``.
 
         Valid only when the blobs are codec-encoded cell-set values (the
         ``FullOne`` layouts); entry ``i`` of the probe answers for blob id
-        ``i``.  The concatenated heap is joined once and shared by every
-        field's probe; probes (with their lowered tables) are cached until
-        the next append, so a mismatched-orientation scan pays one
-        vectorised pass instead of one probe call per unique blob ref.
-        ``ticker`` is called once per blob during the cold field-offset
-        walk, so a query-time budget can interrupt it.
+        ``i``.  Probes (with their lowered tables) are cached until the next
+        append — and segment-backed stores rehydrate them straight from the
+        persisted lowered tables, so even a fresh process pays no header
+        walk.  ``ticker`` is called once per batch (the cold field-offset
+        walk counts as one batch), so a query-time budget interrupts at
+        batch boundaries only.
         """
         probe = self._probes.get(field)
         if probe is None:
-            if self._heap is None:
-                lengths = np.asarray([len(b) for b in self._blobs], dtype=np.int64)
-                ends = np.cumsum(lengths)
-                self._heap = (b"".join(self._blobs), ends - lengths, ends)
-            buf, starts, ends = self._heap
+            self._finalize()
+            buf, starts, ends = self._buf, self._starts, self._ends
             if field:
+                if ticker is not None:
+                    ticker()
                 shifted = np.empty(starts.size, dtype=np.int64)
                 for j, (start, end) in enumerate(zip(starts, ends)):
-                    if ticker is not None:
-                        ticker()
                     shifted[j] = codecs.skip_fields(buf, int(start), int(end), field)
                 starts = shifted
             probe = codecs.BatchProbe(buf, starts, ends)
             self._probes[field] = probe
         return probe
 
+    def probe_fields(self) -> set[int]:
+        """Fields whose lowered batch-probe tables are currently warm."""
+        return {f for f, p in self._probes.items() if p._lowered is not None}
+
     def get(self, blob_id: int) -> bytes:
-        try:
-            return self._blobs[int(blob_id)]
-        except IndexError:
-            raise StorageError(f"unknown blob id {blob_id}") from None
+        i = int(blob_id)
+        if 0 <= i < self._ends.size:
+            return bytes(self._buf[int(self._starts[i]): int(self._ends[i])])
+        j = i - self._ends.size
+        if 0 <= j < len(self._pending):
+            return self._pending[j]
+        raise StorageError(f"unknown blob id {blob_id}")
 
     def get_many(self, blob_ids: np.ndarray) -> list[bytes]:
         return [self.get(b) for b in np.asarray(blob_ids, dtype=np.int64)]
 
     def __len__(self) -> int:
-        return len(self._blobs)
+        return self._ends.size + len(self._pending)
 
     def disk_bytes(self) -> int:
         """Payload plus one offset word per blob."""
-        return self._nbytes + 8 * len(self._blobs)
+        payload = len(self._buf) + sum(len(b) for b in self._pending)
+        return payload + 8 * len(self)
+
+    # -- persistence ---------------------------------------------------------
+
+    def dump(self, writer: seglib.SegmentWriter, prefix: str = "") -> None:
+        """Write the heap — and any warm lowered probe tables — into a
+        segment file, so a reload probes without re-walking codec headers."""
+        self._finalize()
+        fields = sorted(self.probe_fields())
+        writer.add_json(
+            prefix + "meta", {"n": int(self._ends.size), "probe_fields": fields}
+        )
+        writer.add_bytes(prefix + "buf", self._buf)
+        writer.add_array(prefix + "ends", self._ends)
+        for field in fields:
+            tables = self._probes[field].lowered_tables()
+            for tname in codecs.BatchProbe.LOWERED_NAMES:
+                writer.add_array(f"{prefix}probe{field}.{tname}", tables[tname])
+
+    @classmethod
+    def from_segment(
+        cls, seg: seglib.Segment, prefix: str = "", name: str = "blobs"
+    ) -> "BlobStore":
+        """Rehydrate heap and lowered probe tables from mmap-backed sections."""
+        store = cls(name)
+        meta = seg.json(prefix + "meta")
+        store._buf = seg.view(prefix + "buf")
+        ends = seg.array(prefix + "ends")
+        store._ends = ends
+        starts = np.empty_like(ends)
+        if ends.size:
+            starts[0] = 0
+            starts[1:] = ends[:-1]
+        store._starts = starts
+        for field in meta.get("probe_fields", []):
+            tables = {
+                tname: seg.array(f"{prefix}probe{field}.{tname}")
+                for tname in codecs.BatchProbe.LOWERED_NAMES
+            }
+            store._probes[int(field)] = codecs.BatchProbe.from_lowered(
+                store._buf, ends.size, tables
+            )
+        return store
 
     def flush(self, path: str) -> int:
-        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
-        with open(path, "wb") as fh:
-            fh.write(struct.pack("<q", len(self._blobs)))
-            for blob in self._blobs:
-                fh.write(ser.encode_bytes(blob))
-        return os.path.getsize(path)
+        writer = seglib.SegmentWriter()
+        self.dump(writer)
+        return writer.write(path)
 
     @classmethod
     def load(cls, path: str, name: str = "blobs") -> "BlobStore":
+        if seglib.is_segment_file(path):
+            return cls.from_segment(seglib.Segment.open(path), "", name)
+        # legacy pre-segment layout: <q count + length-prefixed blobs
         store = cls(name)
         with open(path, "rb") as fh:
             raw = fh.read()
@@ -366,9 +459,10 @@ class BlobStore:
         return store
 
     def clear(self) -> None:
-        self._blobs = []
-        self._nbytes = 0
-        self._heap = None
+        self._buf = b""
+        self._starts = np.empty(0, dtype=np.int64)
+        self._ends = np.empty(0, dtype=np.int64)
+        self._pending = []
         self._probes = {}
 
 

@@ -126,6 +126,36 @@ class RTree:
         point = np.asarray(point, dtype=np.int64)
         return self.query_box(point, point)
 
+    def query_points(self, points: np.ndarray) -> np.ndarray:
+        """Ids of every indexed box containing *any* of ``points`` — one
+        batched descent for the whole coordinate set.
+
+        Equivalent to the union of :meth:`query_point` over the rows of
+        ``points``, but the per-level containment tests run as a handful of
+        vectorised passes over ``(point, node)`` pairs instead of one Python
+        descent per point.  Returns sorted unique data ids.
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=np.int64))
+        if not self._levels or points.shape[0] == 0:
+            return np.empty(0, dtype=np.int64)
+        if points.shape[1] != self.ndim:
+            raise StorageError(f"query points must be {self.ndim}-dimensional")
+        pidx = np.arange(points.shape[0], dtype=np.int64)
+        nidx = np.zeros(points.shape[0], dtype=np.int64)
+        for level in self._levels:
+            pts = points[pidx]
+            hit = ((level.lo[nidx] <= pts) & (level.hi[nidx] >= pts)).all(axis=1)
+            pidx, nidx = pidx[hit], nidx[hit]
+            if pidx.size == 0:
+                return np.empty(0, dtype=np.int64)
+            counts = level.child_count[nidx]
+            nidx = _expand(level.child_start[nidx], counts)
+            pidx = np.repeat(pidx, counts)
+        # nidx indexes the sorted data arrays; filter the data boxes too
+        pts = points[pidx]
+        hit = ((self._data_lo[nidx] <= pts) & (self._data_hi[nidx] >= pts)).all(axis=1)
+        return np.unique(self._data_ids[nidx[hit]])
+
     def __len__(self) -> int:
         return int(self._data_ids.size)
 
@@ -136,6 +166,48 @@ class RTree:
             total += level.lo.nbytes + level.hi.nbytes
             total += level.child_start.nbytes + level.child_count.nbytes
         return int(total)
+
+    # -- persistence ---------------------------------------------------------
+
+    def dump(self, writer, prefix: str = "") -> None:
+        """Write the built index into a segment (see :mod:`repro.storage.segment`).
+
+        The tree is persisted as-is — levels, sorted data boxes and the
+        id permutation — so a segment-backed load serves descents without
+        re-running the STR bulk load.
+        """
+        writer.add_json(
+            prefix + "meta", {"ndim": self.ndim, "n_levels": len(self._levels)}
+        )
+        writer.add_array(prefix + "data_ids", self._data_ids)
+        writer.add_array(prefix + "data_lo", self._data_lo)
+        writer.add_array(prefix + "data_hi", self._data_hi)
+        for i, level in enumerate(self._levels):
+            writer.add_array(f"{prefix}l{i}.lo", level.lo)
+            writer.add_array(f"{prefix}l{i}.hi", level.hi)
+            writer.add_array(f"{prefix}l{i}.child_start", level.child_start)
+            writer.add_array(f"{prefix}l{i}.child_count", level.child_count)
+
+    @classmethod
+    def from_segment(cls, seg, prefix: str = "") -> "RTree":
+        """Rehydrate a :meth:`dump`-ed index from mmap-backed sections."""
+        meta = seg.json(prefix + "meta")
+        levels = [
+            _Level(
+                seg.array(f"{prefix}l{i}.lo"),
+                seg.array(f"{prefix}l{i}.hi"),
+                seg.array(f"{prefix}l{i}.child_start"),
+                seg.array(f"{prefix}l{i}.child_count"),
+            )
+            for i in range(int(meta["n_levels"]))
+        ]
+        return cls(
+            levels,
+            seg.array(prefix + "data_ids"),
+            seg.array(prefix + "data_lo"),
+            seg.array(prefix + "data_hi"),
+            int(meta["ndim"]),
+        )
 
 
 def _str_order(lo: np.ndarray, hi: np.ndarray, leaf_capacity: int) -> np.ndarray:

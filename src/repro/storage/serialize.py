@@ -17,6 +17,13 @@ decode unchanged.  Inputs whose span exceeds the int64 range — which used to
 make the delta residuals wrap negative and raise mid-workflow — now fall
 back to the raw codec instead of failing.
 
+File-level persistence does not use this module's framing: whole stores
+flush into the checksummed, mmap-able segment container of
+:mod:`repro.storage.segment` (codec-tagged values ride inside its byte
+sections verbatim — see ``docs/storage_format.md``).  The length-prefixed
+helpers here remain for in-value framing and the legacy pre-segment
+loaders.
+
 Everything is vectorised with numpy; nothing here loops over cells.
 """
 

@@ -5,19 +5,96 @@ log" (§V-a); if the process dies after a run, those two artifacts suffice to
 reconstruct a queryable :class:`~repro.workflow.instance.WorkflowInstance`
 without re-executing anything — operators re-bind to the persisted input
 versions and lineage queries (including black-box re-execution) work as
-before.  Region-lineage stores are a cache and can be reloaded separately
-via :meth:`~repro.core.runtime.LineageRuntime.load_all` or simply rebuilt.
+before.
+
+Region-lineage stores are a cache, persisted as checksummed segment files
+behind a catalog manifest (:mod:`repro.core.catalog`).  Recovery does not
+trust those files blindly: :func:`recover_lineage` verifies every section
+checksum against the segment manifests and *quarantines* corrupt segments
+(renames them aside and drops them from the catalog) instead of serving
+garbage — the lineage they held is rebuildable by re-running the operator,
+which is exactly the cache contract (§VI-A).
 """
 
 from __future__ import annotations
 
+import os
+from dataclasses import dataclass, field
+
 from repro.arrays.versions import VersionStore
-from repro.errors import WorkflowError
+from repro.core.catalog import StoreCatalog
+from repro.errors import StorageError, WorkflowError
+from repro.storage.segment import Segment
 from repro.storage.wal import WriteAheadLog
 from repro.workflow.instance import NodeExecution, WorkflowInstance
 from repro.workflow.spec import WorkflowSpec
 
-__all__ = ["recover_instance"]
+__all__ = ["recover_instance", "recover_lineage", "LineageRecovery"]
+
+#: suffix appended to a corrupt segment file when it is quarantined
+QUARANTINE_SUFFIX = ".quarantined"
+
+
+@dataclass
+class LineageRecovery:
+    """Outcome of :func:`recover_lineage`: the verified catalog plus what
+    had to be set aside."""
+
+    catalog: StoreCatalog
+    #: ``(segment filename, StorageError)`` per quarantined segment
+    quarantined: list[tuple[str, StorageError]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.quarantined
+
+
+def recover_lineage(
+    directory: str,
+    runtime=None,
+    strict: bool = False,
+) -> LineageRecovery:
+    """Recover a flushed lineage catalog, trusting checksums over bare files.
+
+    Every segment the manifest records is opened and checksum-verified
+    section by section.  A segment that fails — truncated, bit-flipped,
+    structurally invalid — is *quarantined*: the file is renamed with
+    :data:`QUARANTINE_SUFFIX`, the store is dropped from the catalog, and
+    the failure is reported as a :class:`~repro.errors.StorageError` in the
+    result (or raised immediately when ``strict=True``).  Healthy stores
+    keep serving; the quarantined lineage can be rebuilt by re-running the
+    workflow.
+
+    ``runtime`` (a :class:`~repro.core.runtime.LineageRuntime`) is attached
+    to the verified catalog when given, so queries resume lazily off the
+    surviving segments.
+    """
+    catalog = StoreCatalog.open(directory)
+    quarantined: list[tuple[str, StorageError]] = []
+    for entry in catalog.entries():
+        path = os.path.join(directory, entry.file)
+        try:
+            seg = Segment.open(path, verify=True)
+            seg.close()
+        except (StorageError, OSError) as exc:
+            error = StorageError(
+                f"lineage segment {entry.file!r} (store {entry.node!r} / "
+                f"{entry.strategy.label}) failed verification and was "
+                f"quarantined: {exc}"
+            )
+            if strict:
+                raise error from exc
+            if os.path.exists(path):
+                os.replace(path, path + QUARANTINE_SUFFIX)
+            catalog.drop(entry.node, entry.strategy)
+            quarantined.append((entry.file, error))
+    if quarantined:
+        # persist the quarantine: a later plain load_all must not re-register
+        # strategies whose segments were set aside
+        catalog.save_manifest()
+    if runtime is not None:
+        runtime.attach_catalog(catalog)
+    return LineageRecovery(catalog=catalog, quarantined=quarantined)
 
 
 def recover_instance(

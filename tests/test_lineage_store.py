@@ -148,12 +148,13 @@ class TestRegionEntryTable:
         table.add_entry(pk((1, 1)), b"b")
         assert len(table.candidate_entries(cells((0, 0), (1, 1)))) == 2
 
-    def test_iter_and_disk(self):
+    def test_columns_and_disk(self):
         table = RegionEntryTable(OUT_SHAPE)
         table.add_entry(pk((0, 0), (1, 1)), b"val")
-        entries = list(table.iter_entries())
-        assert len(entries) == 1
-        assert entries[0][1] == b"val"
+        keys, koff, vbuf, voff = table.columns()
+        assert koff.size - 1 == 1
+        assert bytes(vbuf[voff[0]: voff[1]]) == b"val"
+        assert keys[koff[0]: koff[1]].size == 2
         assert table.disk_bytes() > 0
 
     def test_all_singleton_keys(self):
@@ -312,12 +313,12 @@ class TestPayloadStores:
         assert store.backward_payload_rows(pk((0, 0))) is None
 
     @pytest.mark.parametrize("strategy", [PAY_ONE_B, PAY_MANY_B], ids=lambda s: s.label)
-    def test_scan_entries_and_overridden(self, strategy):
+    def test_payload_columns_and_overridden(self, strategy):
         store = make_store("n", strategy, OUT_SHAPE, IN_SHAPES)
         store.ingest(make_payload_sink())
-        entries = list(store.scan_payload_entries())
-        total_cells = sum(e[0].size for e in entries)
-        assert total_cells == 4
+        keys, koff, vbuf, voff = store.payload_entries()
+        assert int(koff[-1]) == keys.size == 4
+        assert int(voff[-1]) == len(vbuf)
         overridden = store.overridden_keys()
         assert set(overridden.tolist()) == set(pk((0, 0), (0, 1), (3, 3), (4, 4)).tolist())
 
@@ -334,7 +335,7 @@ class TestPayloadStores:
         with pytest.raises(LineageError):
             store.backward_payload(pk((0, 0)))
         with pytest.raises(LineageError):
-            list(store.scan_payload_entries())
+            store.payload_entries()
 
     def test_payload_store_rejects_full_queries(self):
         store = make_store("n", PAY_ONE_B, OUT_SHAPE, IN_SHAPES)

@@ -146,13 +146,19 @@ class TestRuntimeFlushAll:
 
         written = runtime.flush_all(str(tmp_path))
         assert written > 0
-        assert (tmp_path / "manifest.json").exists()
+        assert (tmp_path / "catalog.json").exists()
+        # one single-file segment per store
+        assert len(list(tmp_path.glob("*.seg"))) == 2
 
         fresh = LineageRuntime()
         loaded = fresh.load_all(str(tmp_path))
         assert loaded == 2
         assert FULL_ONE_B in fresh.strategies_for("spot")
+        # lazy-open: attaching the catalog materialises nothing...
+        assert fresh._catalog.open_count() == 0
         restored = fresh.store_for("spot", FULL_ONE_B).backward_full(q)
+        # ...and the first query opened exactly the store it needed
+        assert fresh._catalog.open_count() == 1
         assert (original[0] == restored[0]).all()
         assert set(original[1][0].tolist()) == set(restored[1][0].tolist())
 
@@ -163,6 +169,26 @@ class TestRuntimeFlushAll:
         execute_workflow(build_spot_spec(), {"img": image}, runtime=runtime)
         written = runtime.flush_all(str(tmp_path))
         accounted = runtime.total_disk_bytes()
-        # file framing adds a little; they must agree within 30%
+        # the segment carries the logical store bytes plus derived serving
+        # structures (section table, persisted lowered batch-scan tables)
+        # whose fixed framing dominates only on stores this small
         assert written >= accounted * 0.7
-        assert written <= accounted * 1.3 + 4096
+        assert written <= accounted * 2.0 + 16384
+
+    def test_loaded_catalog_accounts_from_manifest(self, tmp_path, rng):
+        image = SciArray.from_numpy(rng.random((16, 18)))
+        runtime = LineageRuntime()
+        runtime.set_strategies("spot", FULL_ONE_B)
+        execute_workflow(build_spot_spec(), {"img": image}, runtime=runtime)
+        runtime.flush_all(str(tmp_path))
+        fresh = LineageRuntime()
+        fresh.load_all(str(tmp_path))
+        # accounting answers from the manifest without opening any segment
+        before = fresh.total_disk_bytes()
+        assert before > 0
+        assert fresh.disk_bytes_by_node().get("spot", 0) > 0
+        assert fresh._catalog.open_count() == 0
+        # ...and does not drift when queries lazily open stores
+        fresh.store_for("spot", FULL_ONE_B)
+        assert fresh._catalog.open_count() == 1
+        assert fresh.total_disk_bytes() == before
