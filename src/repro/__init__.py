@@ -51,7 +51,7 @@ from repro.core.optimizer import (
     StrategyOptimizer,
     WorkloadProfile,
 )
-from repro.core.query import QueryExecutor, QueryResult, StepStats
+from repro.core.query import QueryExecutor, QueryResult, QuerySession, StepStats
 from repro.core.runtime import LineageRuntime
 from repro.core.stats import OperatorStats, StatsCollector
 from repro.core.subzero import SubZero
@@ -116,6 +116,7 @@ __all__ = [
     "LineageRuntime",
     "QueryExecutor",
     "QueryResult",
+    "QuerySession",
     "StepStats",
     "StatsCollector",
     "OperatorStats",

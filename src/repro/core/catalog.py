@@ -1,37 +1,56 @@
 """Workflow-level catalog of persisted lineage-store segments.
 
-The catalog is the lazy-open serving path of the persistence layer: a
-``flush`` writes every materialised :class:`~repro.core.lineage_store.
-OpLineageStore` as ONE segment file (columns, R-tree, *and* the lowered
-batch-scan tables — see :mod:`repro.storage.segment`) plus one JSON manifest
-(``catalog.json``) describing them.  A fresh process then opens the manifest
-only; individual stores are opened on first query — mmap-backed, no decode —
-so serving a single backward query over a hundred-store workflow touches one
-segment, not a hundred.
+The catalog is the serving core of the persistence layer: a ``flush``
+writes every materialised :class:`~repro.core.lineage_store.OpLineageStore`
+as one segment (monolithic, or sharded ``.seg.0..k`` above a size
+threshold — see :mod:`repro.storage.segment`) plus one JSON manifest
+(``catalog.json``) describing them.  A fresh process then opens the
+manifest only; individual stores are opened on first query — mmap-backed,
+no decode — so serving a single backward query over a hundred-store
+workflow touches one segment, not a hundred.
+
+Since the concurrent-serving refactor the catalog is also a **thread-safe,
+LRU-bounded open-store cache**:
+
+* :meth:`StoreCatalog.borrow` / :meth:`StoreCatalog.release` hand out
+  *pinned* references — the unit :class:`~repro.core.query.QuerySession`
+  builds on.  A pinned store is never closed under a reader.
+* ``memory_budget_bytes`` caps the resident segment bytes.  When an open
+  pushes the cache over budget, unpinned stores are evicted in LRU order
+  and their shared mappings closed
+  (:meth:`~repro.core.lineage_store.OpLineageStore.close`).  Pinned stores
+  are never victims — the cache may transiently exceed the budget by the
+  pinned working set — but the budget is re-checked at every release, so
+  a store the LRU wants gone closes the moment its last pin drops.
+* Hit/miss/evict counters and the open-mapping count are exported via
+  :meth:`stats` so serving regressions show up in benchmarks and
+  ``QueryResult.explain()``.
 
 The manifest records, per store: the node, the strategy triple, the array
-shapes needed to reconstruct the store object, the segment filename, its
-size, and whether the lowered tables were persisted (they always are on the
-current writer; the flag lets the cost model price mismatched scans at the
-warm batch rate without opening anything).
+shapes needed to reconstruct the store object, the segment filename (plus
+the shard filenames when the store was sharded), its size, and whether the
+lowered tables were persisted.  ``catalog.json`` is written atomically
+(tmp + ``os.replace``) so a crash mid-write can never brick the catalog.
 
 Corruption handling lives in :func:`repro.workflow.recovery.recover_lineage`,
-which checksum-verifies every segment against the manifest and quarantines
-the corrupt ones; :meth:`StoreCatalog.open_store` itself only does the
-structural validation that :meth:`~repro.storage.segment.Segment.open`
-performs.
+which checksum-verifies every segment (all shards) against the manifest and
+quarantines the corrupt ones; :meth:`StoreCatalog.open_store` itself only
+does the structural validation that segment opening performs.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
 from repro.core.lineage_store import OpLineageStore, make_store
 from repro.core.modes import EncodingKind, LineageMode, Orientation, StorageStrategy
 from repro.errors import StorageError
+from repro.storage import segment as seglib
 
 __all__ = ["CatalogEntry", "StoreCatalog", "MANIFEST_NAME", "store_filename"]
 
@@ -77,21 +96,89 @@ class CatalogEntry:
     file: str
     nbytes: int
     lowered: bool
+    #: shard filenames (``<file>.0..k``) when the store was flushed sharded;
+    #: empty for a monolithic segment
+    shards: tuple[str, ...] = ()
 
     @property
     def key(self) -> tuple[str, StorageStrategy]:
         return (self.node, self.strategy)
 
+    @property
+    def files(self) -> tuple[str, ...]:
+        """The on-disk file(s) actually backing this store."""
+        return self.shards if self.shards else (self.file,)
+
+
+@dataclass
+class _OpenStore:
+    """One open (cached) store: the shared object plus its pin state.
+
+    ``store`` is None while the first borrower is still opening the
+    segment; ``ready`` flips once the load finished (or failed, in which
+    case ``error`` is set and the record has left the cache).  The record
+    is inserted — pinned — *before* the load runs, so concurrent borrows
+    of the same key share one open and borrows of other keys never wait
+    behind it.
+    """
+
+    key: tuple[str, StorageStrategy]
+    store: OpLineageStore | None
+    nbytes: int
+    pins: int = 0
+    #: set when the LRU evicted this record (it has left the cache)
+    evicted: bool = False
+    #: True once the backing mapping was closed
+    closed: bool = False
+    #: the exception the opening thread hit, for waiting borrowers
+    error: BaseException | None = None
+    ready: threading.Event = field(default_factory=threading.Event)
+
+    def resident_bytes(self) -> int:
+        """What this record actually costs the budget *right now*.
+
+        A sharded store maps its shards lazily, so it is charged only the
+        bytes of the shards currently mapped — not its full manifest size;
+        a store still loading is charged its manifest size as a
+        reservation; a closed store costs nothing.
+        """
+        if self.closed:
+            return 0
+        store = self.store
+        if store is None:  # placeholder: reserve the full size while loading
+            return self.nbytes
+        seg = store._segment
+        if seg is None:
+            return 0
+        mapped = getattr(seg, "mapped_bytes", None)
+        return mapped() if mapped is not None else self.nbytes
+
 
 class StoreCatalog:
-    """Lazy-open view over a flushed workflow's lineage segments."""
+    """Lazy-open, LRU-bounded, thread-safe view over a flushed workflow's
+    lineage segments (see module docstring)."""
 
-    def __init__(self, directory: str, entries: Iterable[CatalogEntry]):
+    def __init__(
+        self,
+        directory: str,
+        entries: Iterable[CatalogEntry],
+        memory_budget_bytes: int | None = None,
+    ):
         self.directory = directory
+        #: cap on resident (mapped) segment bytes; None means unbounded,
+        #: which preserves the pre-LRU behaviour of earlier releases
+        self.memory_budget_bytes = memory_budget_bytes
         self._entries: dict[tuple[str, StorageStrategy], CatalogEntry] = {
             entry.key: entry for entry in entries
         }
-        self._open: dict[tuple[str, StorageStrategy], OpLineageStore] = {}
+        self._lock = threading.RLock()
+        #: LRU cache of open stores, most-recently-used last
+        self._open: "OrderedDict[tuple[str, StorageStrategy], _OpenStore]" = OrderedDict()
+        #: records evicted while pinned: out of the cache, not yet closed
+        self._lingering: list[_OpenStore] = []
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
 
     # -- writing -------------------------------------------------------------
 
@@ -99,17 +186,32 @@ class StoreCatalog:
     def write(
         cls,
         directory: str,
-        stores: Mapping[tuple[str, StorageStrategy], OpLineageStore],
+        stores,
+        shard_threshold_bytes: int | None = None,
+        memory_budget_bytes: int | None = None,
     ) -> tuple["StoreCatalog", int]:
-        """Flush ``stores`` (one segment each, lowered tables included) and
-        the manifest; returns ``(catalog, total_bytes_written)``."""
+        """Flush ``stores`` (one segment each — sharded above the threshold
+        when one is given — lowered tables included) and the manifest;
+        returns ``(catalog, total_bytes_written)``.
+
+        ``stores`` is anything with ``.items()`` yielding
+        ``((node, strategy), store)`` pairs — a plain dict, or a lazy view
+        like the runtime's one-at-a-time borrowing flush, which keeps only
+        the store currently being written pinned in memory."""
         os.makedirs(directory, exist_ok=True)
         entries: list[CatalogEntry] = []
         total = 0
         for (node, strategy), store in stores.items():
             fname = store_filename(node, strategy)
-            nbytes = store.flush_segment(os.path.join(directory, fname))
+            path = os.path.join(directory, fname)
+            nbytes = store.flush_segment(path, shard_threshold_bytes=shard_threshold_bytes)
             total += nbytes
+            files = seglib.segment_files(path)
+            shards = (
+                tuple(os.path.basename(f) for f in files)
+                if files != [path]
+                else ()
+            )
             entries.append(
                 CatalogEntry(
                     node=node,
@@ -119,21 +221,25 @@ class StoreCatalog:
                     file=fname,
                     nbytes=nbytes,
                     lowered=store.lowered_ready(),
+                    shards=shards,
                 )
             )
-        catalog = cls(directory, entries)
+        catalog = cls(directory, entries, memory_budget_bytes=memory_budget_bytes)
         total += catalog.save_manifest()
         return catalog, total
 
     def save_manifest(self) -> int:
         """(Re)write ``catalog.json`` from the current entries; returns its
         size.  Recovery calls this after quarantining segments so the
-        on-disk manifest stops advertising stores that no longer serve."""
-        manifest = {
-            "format": FORMAT,
-            "version": VERSION,
-            "stores": [
-                {
+        on-disk manifest stops advertising stores that no longer serve.
+
+        The write is atomic (tmp file + ``os.replace``): a crash mid-write
+        leaves the previous manifest intact instead of a truncated one that
+        would brick :meth:`open`."""
+        with self._lock:
+            stores = []
+            for entry in self._entries.values():
+                obj = {
                     "node": entry.node,
                     "strategy": _strategy_to_json(entry.strategy),
                     "out_shape": list(entry.out_shape),
@@ -142,18 +248,31 @@ class StoreCatalog:
                     "nbytes": entry.nbytes,
                     "lowered": entry.lowered,
                 }
-                for entry in self._entries.values()
-            ],
-        }
+                if entry.shards:
+                    obj["shards"] = list(entry.shards)
+                stores.append(obj)
+        manifest = {"format": FORMAT, "version": VERSION, "stores": stores}
         path = os.path.join(self.directory, MANIFEST_NAME)
-        with open(path, "w", encoding="utf-8") as fh:
-            json.dump(manifest, fh, indent=2, sort_keys=True)
+        tmp = path + ".tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(manifest, fh, indent=2, sort_keys=True)
+        except BaseException:
+            # never leave a half-written tmp behind a crash we can see
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+        os.replace(tmp, path)
         return os.path.getsize(path)
 
     # -- opening -------------------------------------------------------------
 
     @classmethod
-    def open(cls, directory: str) -> "StoreCatalog":
+    def open(
+        cls, directory: str, memory_budget_bytes: int | None = None
+    ) -> "StoreCatalog":
         """Parse the manifest only; no segment file is touched."""
         path = os.path.join(directory, MANIFEST_NAME)
         try:
@@ -182,13 +301,14 @@ class StoreCatalog:
                         file=obj["file"],
                         nbytes=int(obj["nbytes"]),
                         lowered=bool(obj.get("lowered", False)),
+                        shards=tuple(obj.get("shards", ())),
                     )
                 )
         except (KeyError, TypeError, ValueError) as exc:
             raise StorageError(f"corrupt lineage catalog {path!r}: {exc}") from exc
-        return cls(directory, entries)
+        return cls(directory, entries, memory_budget_bytes=memory_budget_bytes)
 
-    # -- serving -------------------------------------------------------------
+    # -- manifest-level accessors --------------------------------------------
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -204,11 +324,95 @@ class StoreCatalog:
 
     def drop(self, node: str, strategy: StorageStrategy) -> None:
         """Forget one entry (used when recovery quarantines its segment)."""
-        self._entries.pop((node, strategy), None)
-        self._open.pop((node, strategy), None)
+        with self._lock:
+            self._entries.pop((node, strategy), None)
+            record = self._open.pop((node, strategy), None)
+            if record is not None:
+                self._retire(record)
 
     def strategies_for(self, node: str) -> tuple[StorageStrategy, ...]:
         return tuple(s for (n, s) in self._entries if n == node)
+
+    def manifest_bytes(self, node: str, strategy: StorageStrategy) -> int:
+        entry = self._entries.get((node, strategy))
+        return entry.nbytes if entry is not None else 0
+
+    def lowered_ready(self, node: str, strategy: StorageStrategy) -> bool:
+        entry = self._entries.get((node, strategy))
+        return bool(entry is not None and entry.lowered)
+
+    # -- serving: borrow / release (the pinned path) --------------------------
+
+    def borrow(self, node: str, strategy: StorageStrategy) -> _OpenStore | None:
+        """Open (or hit) the store and return a *pinned* record; None when
+        the key is not in the manifest.
+
+        The returned record's ``.store`` is safe to read from the calling
+        thread until the matching :meth:`release` — eviction will never
+        close a mapping while it holds a pin.  Every borrow must be paired
+        with exactly one release (``QuerySession`` does this bookkeeping).
+
+        The catalog lock is held only for the cache bookkeeping: a miss
+        inserts a pinned placeholder, then opens the segment *outside* the
+        lock, so concurrent borrows of other stores (and hits) never queue
+        behind one thread's open; concurrent borrows of the *same* store
+        wait on the record's ready event and share the single mapping.
+        """
+        key = (node, strategy)
+        load_entry = None
+        with self._lock:
+            record = self._open.get(key)
+            if record is not None:
+                self._open.move_to_end(key)
+                record.pins += 1
+                self._hits += 1
+            else:
+                entry = self._entries.get(key)
+                if entry is None:
+                    return None
+                self._misses += 1
+                record = _OpenStore(key=key, store=None, nbytes=entry.nbytes, pins=1)
+                self._open[key] = record
+                load_entry = entry  # this thread inserted the placeholder
+        if load_entry is not None:  # ...so this thread performs the open
+            try:
+                store = make_store(
+                    node, strategy, load_entry.out_shape, load_entry.in_shapes
+                )
+                store.load_segment(os.path.join(self.directory, load_entry.file))
+            except BaseException as exc:
+                with self._lock:
+                    record.error = exc
+                    record.pins -= 1
+                    record.evicted = True
+                    if self._open.get(key) is record:
+                        del self._open[key]
+                    self._close_record(record)
+                record.ready.set()  # wake waiters; they re-raise via error
+                raise
+            record.store = store
+            record.ready.set()
+            with self._lock:
+                self._evict_over_budget()
+            return record
+        record.ready.wait()
+        if record.error is not None:
+            with self._lock:
+                record.pins -= 1
+            raise StorageError(
+                f"store ({node!r}, {strategy.label}) failed to open"
+            ) from record.error
+        return record
+
+    def release(self, record: _OpenStore) -> None:
+        """Drop one pin; a record evicted while pinned closes on the last
+        release, and the budget is re-checked now that a pin is free."""
+        with self._lock:
+            record.pins -= 1
+            if record.evicted and record.pins <= 0:
+                self._close_record(record)
+            else:
+                self._evict_over_budget()
 
     def open_store(
         self, node: str, strategy: StorageStrategy
@@ -218,33 +422,134 @@ class StoreCatalog:
         The returned store's components are mmap-backed views over the
         segment — nothing is decoded until a query touches it, and the
         persisted lowered tables make its first mismatched scan warm.
+
+        This is the *unpinned* convenience path: with no memory budget the
+        store stays cached indefinitely (the pre-LRU contract); with a
+        budget set, long-lived readers should borrow through a
+        :class:`~repro.core.query.QuerySession` instead, because an
+        unpinned store may be evicted (and closed) as soon as the next
+        open needs the room.  The store returned here is excluded from the
+        unpin's own budget check, so it is always live when handed back —
+        a later eviction makes it raise loudly rather than answer empty.
         """
-        key = (node, strategy)
-        store = self._open.get(key)
-        if store is None:
-            entry = self._entries.get(key)
-            if entry is None:
-                return None
-            store = make_store(node, strategy, entry.out_shape, entry.in_shapes)
-            store.load_segment(os.path.join(self.directory, entry.file))
-            self._open[key] = store
+        record = self.borrow(node, strategy)
+        if record is None:
+            return None
+        store = record.store
+        with self._lock:
+            record.pins -= 1
+            if record.evicted and record.pins <= 0:
+                # retired while we held the only pin (e.g. recovery dropped
+                # the entry): close now so the mapping never lingers; the
+                # poisoned store tells the caller loudly
+                self._close_record(record)
+            else:
+                self._evict_over_budget(exclude=record)
         return store
 
+    # -- eviction ------------------------------------------------------------
+
+    def _evict_over_budget(self, exclude: _OpenStore | None = None) -> None:
+        """Evict (LRU first) until resident bytes fit the budget.
+
+        Only *unpinned* records are eligible — classic buffer-pool
+        semantics: borrowed stores stay shared and mapped, and the cache
+        may transiently exceed the budget by the pinned working set.  The
+        budget is re-checked on every release, so a store that outlived
+        its welcome closes the moment its last pin drops.  ``exclude``
+        shields one record from this pass only (the store ``open_store``
+        is about to hand back unpinned).  Callers hold the lock.
+        """
+        budget = self.memory_budget_bytes
+        if budget is None:
+            return
+        while self._resident_bytes_locked() > budget:
+            victim_key = None
+            for key, record in self._open.items():  # LRU order
+                if record.pins <= 0 and record is not exclude:
+                    victim_key = key
+                    break
+            if victim_key is None:
+                return  # everything left is pinned; retry at next release
+            record = self._open.pop(victim_key)
+            record.evicted = True
+            self._evictions += 1
+            self._close_record(record)
+
+    def _close_record(self, record: _OpenStore) -> None:
+        if record in self._lingering:
+            self._lingering.remove(record)
+        if not record.closed:
+            record.closed = True
+            if record.store is not None:
+                record.store.close()
+
+    def _retire(self, record: _OpenStore) -> None:
+        """Close (or defer-close) a record leaving the cache outside the
+        normal eviction path (drop / close)."""
+        record.evicted = True
+        if record.pins > 0:
+            self._lingering.append(record)
+        else:
+            self._close_record(record)
+
+    def _resident_bytes_locked(self) -> int:
+        total = sum(r.resident_bytes() for r in self._open.values())
+        return total + sum(r.resident_bytes() for r in self._lingering)
+
+    # -- introspection ---------------------------------------------------------
+
+    def resident_bytes(self) -> int:
+        """Mapped segment bytes currently held open (incl. pinned-evicted)."""
+        with self._lock:
+            return self._resident_bytes_locked()
+
     def open_count(self) -> int:
-        """How many stores have actually been opened (laziness probe)."""
-        return len(self._open)
+        """How many stores are currently open in the cache (laziness probe)."""
+        with self._lock:
+            return len(self._open)
+
+    def is_open(self, node: str, strategy: StorageStrategy) -> bool:
+        with self._lock:
+            return (node, strategy) in self._open
+
+    def stats(self) -> dict[str, int]:
+        """Serving-cache counters for benchmarks and ``explain()``."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "open_mappings": len(self._open) + len(self._lingering),
+                "resident_bytes": self._resident_bytes_locked(),
+            }
 
     def is_catalog_store(
         self, node: str, strategy: StorageStrategy, store: OpLineageStore
     ) -> bool:
-        """True when ``store`` is the object this catalog opened for the
-        key (as opposed to a freshly re-ingested resident store)."""
-        return self._open.get((node, strategy)) is store
+        """True when ``store`` is the object this catalog currently serves
+        for the key (as opposed to a freshly re-ingested resident store)."""
+        with self._lock:
+            record = self._open.get((node, strategy))
+            return record is not None and record.store is store
 
-    def manifest_bytes(self, node: str, strategy: StorageStrategy) -> int:
-        entry = self._entries.get((node, strategy))
-        return entry.nbytes if entry is not None else 0
+    # -- lifecycle -------------------------------------------------------------
 
-    def lowered_ready(self, node: str, strategy: StorageStrategy) -> bool:
-        entry = self._entries.get((node, strategy))
-        return bool(entry is not None and entry.lowered)
+    def close(self) -> None:
+        """Close every open mapping and empty the cache.
+
+        Pinned records are closed too — callers must first end their
+        sessions; this is the shutdown path, not an eviction."""
+        with self._lock:
+            records = list(self._open.values()) + list(self._lingering)
+            self._open.clear()
+            self._lingering.clear()
+            for record in records:
+                record.evicted = True
+                self._close_record(record)
+
+    def __enter__(self) -> "StoreCatalog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -51,6 +51,13 @@ class CostConstants:
     entry_overhead_bytes: int = 14
     rtree_entry_bytes: int = 40
     default_reexec_s: float = 0.05  # before any measurement exists
+    # reopen-after-evict pricing: opening a store that the LRU cache evicted
+    # (or never opened) pays one segment open — mmap + manifest parse — plus
+    # a page-in term proportional to the bytes the first probes touch.  This
+    # is what makes the query-time optimizer memory-budget-aware: a strategy
+    # whose segment was evicted competes against re-execution honestly.
+    segment_open_s: float = 3.0e-4  # per segment (re)open under the cache
+    reopen_byte_s: float = 2.0e-10  # per manifest byte paged back in
 
     @classmethod
     def calibrate(cls, n: int = 50_000, seed: int = 0) -> "CostConstants":
@@ -230,6 +237,7 @@ class CostModel:
         direction_backward: bool,
         n_query_cells: int,
         lowered_ready: bool = False,
+        reopen_bytes: int = 0,
     ) -> float:
         """Estimated cost of one query step over ``n_query_cells``.
 
@@ -237,6 +245,12 @@ class CostModel:
         already warm — cached from an earlier scan, or rehydrated from a
         segment's persisted tables — so a mismatched access is priced at
         the pure batch rate without the one-off lowering surcharge.
+
+        ``reopen_bytes`` is the segment footprint a materialised access
+        would have to (re)map first — nonzero when the store is on disk
+        only because the serving cache evicted it (or never opened it).
+        The surcharge makes the optimizer see the memory budget: a cheap
+        probe against an evicted giant store may lose to re-execution.
         """
         s = self.stats.get(node)
         k = self.k
@@ -246,11 +260,14 @@ class CostModel:
             return self.reexec_seconds(node)
         if strategy.mode is LineageMode.MAP:
             return n * k.map_cell_s
+        reopen = (
+            k.segment_open_s + reopen_bytes * k.reopen_byte_s if reopen_bytes else 0.0
+        )
         measured = s.observed_query_seconds.get(
             self._observation_key(strategy, direction_backward)
         )
         if measured is not None:
-            return measured
+            return measured + reopen
         entries = self._entries(s, strategy)
         probe = (
             k.hash_probe_s
@@ -260,7 +277,7 @@ class CostModel:
         if strategy.mode is LineageMode.FULL:
             matched = (strategy.orientation is Orientation.BACKWARD) == direction_backward
             if matched:
-                return n * probe + n * fanin * k.decode_cell_s
+                return reopen + n * probe + n * fanin * k.decode_cell_s
             # mismatched orientation: the batch-scan engine answers every
             # entry in a few vectorised passes, so the per-entry constant is
             # far below the per-entry cursor cost.  The decode term prices
@@ -268,15 +285,15 @@ class CostModel:
             # lowered tables are already warm (cached, or served straight
             # from a segment's persisted tables).
             if lowered_ready:
-                return entries * k.batch_entry_s
-            return entries * (k.batch_entry_s + k.decode_cell_s)
+                return reopen + entries * k.batch_entry_s
+            return reopen + entries * (k.batch_entry_s + k.decode_cell_s)
         # payload / composite strategies are always backward-optimized
         if direction_backward:
-            cost = n * probe + n * k.payload_apply_s
+            cost = reopen + n * probe + n * k.payload_apply_s
             if strategy.mode is LineageMode.COMP:
                 cost += n * k.map_cell_s
             return cost
-        cost = entries * (k.scan_entry_s + k.payload_apply_s / 8.0)
+        cost = reopen + entries * (k.scan_entry_s + k.payload_apply_s / 8.0)
         if strategy.mode is LineageMode.COMP:
             cost += n * k.map_cell_s
         return cost

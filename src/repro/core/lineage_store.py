@@ -54,6 +54,8 @@ All public methods speak *packed* coordinates (int64, see
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.arrays import coords as C
@@ -124,7 +126,14 @@ class RegionEntryTable:
         self._hi: np.ndarray | None = None
         self._rtree: RTree | None = None
         self._probes: dict[int, codecs.BatchProbe] = {}
+        #: ``(segment, prefix, fields, n)`` when persisted lowered tables
+        #: are available but not yet hydrated — the shard holding them maps
+        #: only when a mismatched scan first asks (lazy per-shard load)
+        self._probe_source: tuple | None = None
         self._dirty = False
+        # serializes finalize and probe construction under concurrent
+        # readers; the finalized columns themselves are immutable
+        self._flock = threading.RLock()
 
     # -- writes ----------------------------------------------------------------
 
@@ -158,39 +167,45 @@ class RegionEntryTable:
     # -- finalize -----------------------------------------------------------------
 
     def finalize(self) -> None:
-        if not self._dirty:
+        if not self._dirty:  # racy fast path; re-checked under the lock
             return
-        new_keys = np.concatenate(self._key_chunks) if self._key_chunks else None
-        if new_keys is None:
-            return
-        new_klens = np.concatenate(self._klen_chunks)
-        new_vbuf = b"".join(self._val_chunks)
-        new_vlens = np.concatenate(self._vlen_chunks)
-        if self._keys is not None:
-            old_klens = np.diff(self._koff)
-            old_vlens = np.diff(self._voff)
-            keys = np.concatenate([self._keys, new_keys])
-            klens = np.concatenate([old_klens, new_klens])
-            vbuf = bytes(self._vbuf) + new_vbuf  # bytes() lifts mmap-backed views
-            vlens = np.concatenate([old_vlens, new_vlens])
-        else:
-            keys, klens, vbuf, vlens = new_keys, new_klens, new_vbuf, new_vlens
-        n = klens.size
-        koff = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(klens, out=koff[1:])
-        voff = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(vlens, out=voff[1:])
-        coords = C.unpack_coords(keys, self.key_shape)
-        lo = np.minimum.reduceat(coords, koff[:-1], axis=0)
-        hi = np.maximum.reduceat(coords, koff[:-1], axis=0)
-        self._keys, self._koff = keys, koff
-        self._vbuf, self._voff = vbuf, voff
-        self._lo, self._hi = lo, hi
-        self._rtree = RTree.build(lo, hi)
-        self._probes = {}  # lowered batch-probe tables describe the old heap
-        self._key_chunks, self._klen_chunks = [], []
-        self._val_chunks, self._vlen_chunks = [], []
-        self._dirty = False
+        with self._flock:
+            if not self._dirty:
+                return
+            new_keys = np.concatenate(self._key_chunks) if self._key_chunks else None
+            if new_keys is None:
+                return
+            new_klens = np.concatenate(self._klen_chunks)
+            new_vbuf = b"".join(self._val_chunks)
+            new_vlens = np.concatenate(self._vlen_chunks)
+            if self._keys is not None:
+                old_klens = np.diff(self._koff)
+                old_vlens = np.diff(self._voff)
+                keys = np.concatenate([self._keys, new_keys])
+                klens = np.concatenate([old_klens, new_klens])
+                vbuf = bytes(self._vbuf) + new_vbuf  # bytes() lifts mmap-backed views
+                vlens = np.concatenate([old_vlens, new_vlens])
+            else:
+                keys, klens, vbuf, vlens = new_keys, new_klens, new_vbuf, new_vlens
+            n = klens.size
+            koff = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(klens, out=koff[1:])
+            voff = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(vlens, out=voff[1:])
+            coords = C.unpack_coords(keys, self.key_shape)
+            lo = np.minimum.reduceat(coords, koff[:-1], axis=0)
+            hi = np.maximum.reduceat(coords, koff[:-1], axis=0)
+            self._keys, self._koff = keys, koff
+            self._vbuf, self._voff = vbuf, voff
+            self._lo, self._hi = lo, hi
+            self._rtree = RTree.build(lo, hi)
+            # lowered batch-probe tables (cached or persisted) describe the
+            # old heap; both must go when the heap grows
+            self._probes = {}
+            self._probe_source = None
+            self._key_chunks, self._klen_chunks = [], []
+            self._val_chunks, self._vlen_chunks = [], []
+            self._dirty = False
 
     # -- reads -------------------------------------------------------------------
 
@@ -288,25 +303,44 @@ class RegionEntryTable:
         self.finalize()
         probe = self._probes.get(field)
         if probe is None:
-            if self._voff is None:
-                offsets = np.empty(0, dtype=np.int64)
-                ends = offsets
-            elif field == 0:
-                offsets, ends = self._voff[:-1], self._voff[1:]
-            else:
-                if ticker is not None:
-                    ticker()
-                offsets = np.empty(self._voff.size - 1, dtype=np.int64)
-                for e in range(offsets.size):
-                    offsets[e] = self._value_offset(e, field)
-                ends = self._voff[1:]
-            probe = codecs.BatchProbe(self._vbuf, offsets, ends)
-            self._probes[field] = probe
+            with self._flock:
+                probe = self._probes.get(field)
+                if probe is None and self._probe_source is not None:
+                    seg, prefix, fields, n = self._probe_source
+                    if field in fields:
+                        # hydrate from the persisted lowered tables; this is
+                        # the access that maps the shard holding them
+                        tables = {
+                            tname: seg.array(f"{prefix}probe{field}.{tname}")
+                            for tname in codecs.BatchProbe.LOWERED_NAMES
+                        }
+                        probe = codecs.BatchProbe.from_lowered(self._vbuf, n, tables)
+                        self._probes[field] = probe
+                if probe is None:
+                    if self._voff is None:
+                        offsets = np.empty(0, dtype=np.int64)
+                        ends = offsets
+                    elif field == 0:
+                        offsets, ends = self._voff[:-1], self._voff[1:]
+                    else:
+                        if ticker is not None:
+                            ticker()
+                        offsets = np.empty(self._voff.size - 1, dtype=np.int64)
+                        for e in range(offsets.size):
+                            offsets[e] = self._value_offset(e, field)
+                        ends = self._voff[1:]
+                    probe = codecs.BatchProbe(self._vbuf, offsets, ends)
+                    self._probes[field] = probe
         return probe
 
     def probe_fields(self) -> set[int]:
-        """Fields whose lowered batch-probe tables are currently warm."""
-        return {f for f, p in self._probes.items() if p._lowered is not None}
+        """Fields whose lowered batch-probe tables are warm — cached in
+        memory, or persisted in the backing segment (hydration is lazy but
+        costs no header walk, so they count as warm)."""
+        fields = {f for f, p in self._probes.items() if p._lowered is not None}
+        if self._probe_source is not None:
+            fields |= set(self._probe_source[2])
+        return fields
 
     def value_cells(self, entry_id: int, field: int = 0) -> np.ndarray:
         """Decode one cell-set field of the entry value in place."""
@@ -401,7 +435,8 @@ class RegionEntryTable:
         writer.add_array(prefix + "hi", self._hi)
         self._rtree.dump(writer, prefix + "rtree.")
         for field in fields:
-            tables = self._probes[field].lowered_tables()
+            # batch_probe hydrates lazily-persisted tables when needed
+            tables = self.batch_probe(field=field).lowered_tables()
             for tname in codecs.BatchProbe.LOWERED_NAMES:
                 writer.add_array(f"{prefix}probe{field}.{tname}", tables[tname])
 
@@ -423,14 +458,11 @@ class RegionEntryTable:
         table._lo = seg.array(prefix + "lo")
         table._hi = seg.array(prefix + "hi")
         table._rtree = RTree.from_segment(seg, prefix + "rtree.")
-        for field in meta.get("probe_fields", []):
-            tables = {
-                tname: seg.array(f"{prefix}probe{field}.{tname}")
-                for tname in codecs.BatchProbe.LOWERED_NAMES
-            }
-            table._probes[int(field)] = codecs.BatchProbe.from_lowered(
-                table._vbuf, meta["n"], tables
-            )
+        fields = [int(f) for f in meta.get("probe_fields", [])]
+        if fields:
+            # defer hydration: the shard holding the lowered tables is
+            # mapped only when a mismatched scan first asks for a probe
+            table._probe_source = (seg, prefix, fields, int(meta["n"]))
         return table
 
     def flush(self, path: str) -> int:
@@ -479,6 +511,28 @@ class RegionEntryTable:
         return int(total)
 
 
+class _ClosedComponent:
+    """Poison component installed by :meth:`OpLineageStore.close`.
+
+    A closed store must fail *loudly*: if it kept empty live components, a
+    caller that held the store across an eviction would silently get empty
+    lineage for every query — wrong answers, not an error.  Any attribute
+    access on a closed component raises instead.
+    """
+
+    __slots__ = ("_what",)
+
+    def __init__(self, what: str):
+        self._what = what
+
+    def __getattr__(self, name):
+        raise StorageError(
+            f"lineage store {self._what} is closed (its segment mapping was "
+            "released, e.g. by serving-cache eviction); borrow the store "
+            "through a QuerySession to keep it pinned while reading"
+        )
+
+
 class OpLineageStore:
     """Base class: strategy-specific layout + shared accounting."""
 
@@ -495,6 +549,10 @@ class OpLineageStore:
         self.in_shapes = tuple(tuple(s) for s in in_shapes)
         self.arity = len(in_shapes)
         self.write_seconds = 0.0
+        #: the segment handle backing this store's components when it was
+        #: hydrated from disk (owned: ``close()`` releases it); None for
+        #: resident stores built by ingest
+        self._segment = None
 
     # -- writes -------------------------------------------------------------
 
@@ -537,9 +595,15 @@ class OpLineageStore:
         lowered tables — no codec header walk left to pay."""
         return True
 
-    def flush_segment(self, path: str) -> int:
-        """Persist the whole store as ONE segment file — every component
-        plus the lowered batch-probe tables — and return bytes written."""
+    def flush_segment(self, path: str, shard_threshold_bytes: int | None = None) -> int:
+        """Persist the whole store — every component plus the lowered
+        batch-probe tables — and return bytes written.
+
+        Writes ONE segment file by default; when ``shard_threshold_bytes``
+        is given and the payload exceeds it, the store is split into
+        ``path.0 .. path.k`` shard files instead (each a complete segment;
+        see :meth:`~repro.storage.segment.SegmentWriter.write_sharded`), so
+        a later reader maps only the shards its query touches."""
         self.finalize_if_possible()
         self.warm_lowered_tables()
         writer = seglib.SegmentWriter()
@@ -553,17 +617,21 @@ class OpLineageStore:
         )
         for name, component in self._components().items():
             component.dump(writer, prefix=f"{name}.")
+        if shard_threshold_bytes is not None:
+            nbytes, _ = writer.write_sharded(path, shard_threshold_bytes)
+            return nbytes
         return writer.write(path)
 
     def load_segment(self, source) -> None:
         """Replace every component with its counterpart in ``source`` (a
-        path or an open :class:`~repro.storage.segment.Segment`).  Sections
-        stay mmap-backed: nothing is decoded or copied until a query
-        touches it."""
-        if isinstance(source, seglib.Segment):
+        path or an open :class:`~repro.storage.segment.Segment` /
+        :class:`~repro.storage.segment.ShardedSegment`).  Sections stay
+        mmap-backed: nothing is decoded or copied until a query touches it.
+        The store takes ownership of the handle: :meth:`close` releases it."""
+        if isinstance(source, (seglib.Segment, seglib.ShardedSegment)):
             seg = source
         else:
-            seg = seglib.Segment.open(source)
+            seg = seglib.open_segment(source)
         meta = seg.json("store")
         if (
             meta.get("node") != self.node
@@ -586,6 +654,33 @@ class OpLineageStore:
                     name,
                     RegionEntryTable.from_segment(seg, prefix, component.key_shape),
                 )
+        old = self._segment
+        self._segment = seg
+        if old is not None and old is not seg:
+            old.close()
+
+    def close(self) -> None:
+        """Release the backing segment mapping (if any).
+
+        Components are replaced with poison stand-ins first, so their
+        mmap-backed views stop exporting the buffer — which is what lets
+        the mapping actually unmap — and any later read through this store
+        raises :class:`~repro.errors.StorageError` rather than silently
+        answering empty off freed state.  Safe to call on resident stores
+        (no-op) and safe to call twice."""
+        seg, self._segment = self._segment, None
+        if seg is None:
+            return
+        what = f"({self.node!r}, {self.strategy.label})"
+        for name in self._components():
+            self._set_component(name, _ClosedComponent(what))
+        seg.close()
+
+    def __enter__(self) -> "OpLineageStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def flush_to(self, directory: str) -> int:
         """Persist the store under ``directory``; returns bytes written."""
@@ -598,7 +693,7 @@ class OpLineageStore:
         import os
 
         path = os.path.join(directory, self.SEGMENT_FILENAME)
-        if os.path.exists(path):
+        if seglib.segment_files(path):
             self.load_segment(path)
         else:
             self.load_legacy_components(directory)

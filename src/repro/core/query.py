@@ -14,6 +14,15 @@ and mismatched-orientation steps run the stores' vectorised batch-scan
 paths (one :class:`~repro.storage.codecs.BatchProbe` pass over the value
 heap) rather than per-entry cursor loops, so the wall-clock the budget
 meters is dominated by a few NumPy passes.
+
+Concurrency: query execution *borrows* stores through a
+:class:`QuerySession` — catalog-backed stores are pinned on first touch and
+unpinned when the session closes, so the catalog's LRU eviction can never
+close a mapping under a reader, and execution never mutates runtime state.
+``QueryExecutor.backward`` / ``forward`` are therefore safe to call from
+many threads at once (each call gets its own implicit session unless one is
+passed in); lowered-table warming is serialized per store, so two threads
+cannot race a cache fill.
 """
 
 from __future__ import annotations
@@ -34,7 +43,68 @@ from repro.errors import QueryError
 from repro.ops.base import Operator
 from repro.workflow.instance import WorkflowInstance
 
-__all__ = ["QueryExecutor", "QueryResult", "StepStats"]
+__all__ = ["QueryExecutor", "QueryResult", "QuerySession", "StepStats"]
+
+
+class QuerySession:
+    """A borrow scope for catalog-backed stores.
+
+    Every store a query step touches is obtained through the session:
+    resident stores pass straight through; catalog stores are *borrowed*
+    (pinned) on first touch and cached for the session's lifetime, then
+    released (unpinned) on :meth:`close`.  Pinning guarantees the LRU
+    eviction never closes a mapping this session is reading — eviction of
+    a pinned store is deferred until its last pin drops.
+
+    Sessions are cheap; the executor opens one per query when the caller
+    does not supply one.  For batches, reusing a session across queries
+    keeps its stores pinned (hot) between them.  A session must be used by
+    one thread at a time; concurrent threads each take their own.
+    """
+
+    def __init__(self, runtime: "LineageRuntime"):
+        self.runtime = runtime
+        self._borrowed: dict = {}  # key -> catalog _OpenStore record
+        self._closed = False
+
+    def store_for(self, node: str, strategy: StorageStrategy) -> OpLineageStore | None:
+        """The store serving (node, strategy), pinned for this session when
+        it comes from the catalog; None when nothing serves the key."""
+        if self._closed:
+            raise QueryError("query session is closed")
+        store = self.runtime.resident_store(node, strategy)
+        if store is not None:
+            return store
+        catalog = self.runtime.catalog
+        if catalog is None:
+            return None
+        key = (node, strategy)
+        held = self._borrowed.get(key)
+        if held is None:
+            record = catalog.borrow(node, strategy)
+            if record is None:
+                return None
+            held = (catalog, record)
+            self._borrowed[key] = held
+        return held[1].store
+
+    def pinned_count(self) -> int:
+        return len(self._borrowed)
+
+    def close(self) -> None:
+        """Release every pin.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        held, self._borrowed = list(self._borrowed.values()), {}
+        for catalog, record in held:
+            catalog.release(record)
+
+    def __enter__(self) -> "QuerySession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class _BudgetExceeded(Exception):
@@ -88,6 +158,9 @@ class QueryResult:
 
     frontier: Frontier
     steps: list[StepStats] = field(default_factory=list)
+    #: serving-cache snapshot taken when the query finished (hits, misses,
+    #: evictions, open_mappings, resident_bytes); None without a catalog
+    cache: dict | None = None
 
     @property
     def coords(self) -> np.ndarray:
@@ -121,6 +194,14 @@ class QueryResult:
                 f"  {i + 1:>2}. {s.node:<{width}}  {s.direction.value:<8} "
                 f"via {s.method:<14} {s.cells_in:>8} -> {s.cells_out:<8} cells  "
                 f"{s.seconds * 1e3:8.2f} ms{note}"
+            )
+        if self.cache is not None:
+            c = self.cache
+            lines.append(
+                f"  serving cache: {c.get('hits', 0)} hits / "
+                f"{c.get('misses', 0)} misses / {c.get('evictions', 0)} evictions, "
+                f"{c.get('open_mappings', 0)} open mappings "
+                f"({c.get('resident_bytes', 0)} resident bytes)"
             )
         return "\n".join(lines)
 
@@ -168,7 +249,15 @@ class QueryExecutor:
         query: LineageQuery,
         enable_entire_array: bool | None = None,
         enable_query_opt: bool | None = None,
+        session: QuerySession | None = None,
     ) -> QueryResult:
+        """Run one lineage query.
+
+        ``session`` lets a caller share one borrow scope (pinned stores)
+        across queries; without one, a session is opened for this call and
+        closed before returning.  With per-call or per-thread sessions,
+        this method is safe to invoke concurrently from many threads.
+        """
         entire = (
             self.enable_entire_array
             if enable_entire_array is None
@@ -185,14 +274,25 @@ class QueryExecutor:
             start_shape = self.instance.operator(first.node).input_shapes[
                 first.input_idx
             ]
-        frontier = Frontier.from_coords(query.cells, start_shape)
-        result = QueryResult(frontier=frontier)
-        for step in query.path:
-            frontier, stats = self._execute_step(
-                step, frontier, backward, entire, opt
-            )
-            result.steps.append(stats)
-            result.frontier = frontier
+        owns_session = session is None
+        if owns_session:
+            session = QuerySession(self.runtime)
+        try:
+            frontier = Frontier.from_coords(query.cells, start_shape)
+            result = QueryResult(frontier=frontier)
+            for step in query.path:
+                frontier, stats = self._execute_step(
+                    step, frontier, backward, entire, opt, session
+                )
+                result.steps.append(stats)
+                result.frontier = frontier
+        finally:
+            if owns_session:
+                session.close()
+        snapshot = self.runtime.serving_stats()
+        if self.runtime.catalog is not None:
+            result.cache = snapshot
+        self.runtime.stats.record_serving(snapshot)
         return result
 
     # -- one step ------------------------------------------------------------------
@@ -204,6 +304,7 @@ class QueryExecutor:
         backward: bool,
         entire: bool,
         opt: bool,
+        session: QuerySession,
     ) -> tuple[Frontier, StepStats]:
         node, idx = step.node, step.input_idx
         op = self.instance.operator(node)
@@ -245,12 +346,14 @@ class QueryExecutor:
         switched = False
         try:
             packed = self._run_strategy(
-                node, op, strategy, qpacked, idx, backward, out_shape, in_shape, budget
+                node, op, strategy, qpacked, idx, backward, out_shape, in_shape,
+                budget, session,
             )
         except _BudgetExceeded:
             switched = True
             packed = self._run_strategy(
-                node, op, BLACKBOX, qpacked, idx, backward, out_shape, in_shape, None
+                node, op, BLACKBOX, qpacked, idx, backward, out_shape, in_shape,
+                None, session,
             )
         dropped = 0
         if packed.size:
@@ -308,6 +411,7 @@ class QueryExecutor:
                 backward,
                 n_cells,
                 lowered_ready=self.runtime.lowered_ready(node, strategy),
+                reopen_bytes=self.runtime.reopen_bytes(node, strategy),
             )
             if cost < best_cost:
                 best, best_cost = strategy, cost
@@ -335,6 +439,7 @@ class QueryExecutor:
         out_shape: tuple[int, ...],
         in_shape: tuple[int, ...],
         budget: _Budget | None,
+        session: QuerySession,
     ) -> np.ndarray:
         if strategy.mode is LineageMode.BLACKBOX:
             if backward:
@@ -346,7 +451,9 @@ class QueryExecutor:
                 return C.pack_coords(op.map_b_many(coords, idx), in_shape)
             coords = C.unpack_coords(qpacked, in_shape)
             return C.pack_coords(op.map_f_many(coords, idx), out_shape)
-        store = self.runtime.store_for(node, strategy)
+        # borrow through the session: catalog stores come back pinned, so
+        # the LRU can never close this mapping while the step is reading it
+        store = session.store_for(node, strategy)
         if store is None:
             raise QueryError(
                 f"strategy {strategy.label} assigned to {node!r} but no store exists; "

@@ -124,15 +124,69 @@ class LineageRuntime:
 
     # -- query-side accessors ---------------------------------------------------------
 
+    @property
+    def catalog(self):
+        """The attached :class:`~repro.core.catalog.StoreCatalog`, or None."""
+        return self._catalog
+
+    def session(self):
+        """A :class:`~repro.core.query.QuerySession` over this runtime:
+        catalog-backed stores borrowed through it are pinned (never evicted
+        mid-read) until the session closes."""
+        from repro.core.query import QuerySession
+
+        return QuerySession(self)
+
+    def resident_store(
+        self, node: str, strategy: StorageStrategy
+    ) -> OpLineageStore | None:
+        """The in-memory (ingested or legacy-loaded) store only — never
+        opens anything from the catalog."""
+        return self._stores.get((node, strategy))
+
     def store_for(self, node: str, strategy: StorageStrategy) -> OpLineageStore | None:
         """The store serving (node, strategy) — opened lazily from the
-        attached catalog on first access when not resident."""
+        attached catalog on first access when not resident.
+
+        Catalog stores are cached *in the catalog* (subject to its LRU
+        budget), not copied into the runtime, so this method never mutates
+        runtime state.  Readers that must survive eviction (concurrent
+        serving) should borrow through :meth:`session` instead."""
         store = self._stores.get((node, strategy))
         if store is None and self._catalog is not None:
             store = self._catalog.open_store(node, strategy)
-            if store is not None:
-                self._stores[(node, strategy)] = store
         return store
+
+    def store_resident(self, node: str, strategy: StorageStrategy) -> bool:
+        """True when a query on (node, strategy) needs no segment (re)open:
+        the store is in memory, or currently open in the catalog cache."""
+        if (node, strategy) in self._stores:
+            return True
+        return self._catalog is not None and self._catalog.is_open(node, strategy)
+
+    def reopen_bytes(self, node: str, strategy: StorageStrategy) -> int:
+        """Segment bytes a query would have to (re)map before serving this
+        store — 0 when resident, the manifest size when the store is only
+        on disk (never opened, or evicted).  Feeds the cost model's
+        reopen-after-evict pricing."""
+        if self.store_resident(node, strategy):
+            return 0
+        if self._catalog is not None:
+            return self._catalog.manifest_bytes(node, strategy)
+        return 0
+
+    def serving_stats(self) -> dict[str, int]:
+        """The catalog cache's hit/miss/evict/open-mapping counters (zeros
+        when no catalog is attached)."""
+        if self._catalog is not None:
+            return self._catalog.stats()
+        return {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "open_mappings": 0,
+            "resident_bytes": 0,
+        }
 
     def stores_for_node(self, node: str) -> list[OpLineageStore]:
         """Resident stores only — catalog entries stay unopened (use
@@ -153,22 +207,14 @@ class LineageRuntime:
         return False
 
     # -- accounting ---------------------------------------------------------------------
-
-    def _store_bytes(self, key: tuple[str, StorageStrategy], store) -> int:
-        """One unit for accounting: catalog-backed stores always report
-        their manifest (segment file) size — opened or not — so the totals
-        neither force a segment open nor drift as queries lazily open
-        stores; resident stores report their logical footprint."""
-        if self._catalog is not None and self._catalog.is_catalog_store(*key, store):
-            entry = self._catalog.entry(*key)
-            if entry is not None:
-                return entry.nbytes
-        return store.disk_bytes() if store is not None else 0
+    #
+    # Catalog-backed stores always report their manifest (segment file)
+    # size — opened or not — so the totals neither force a segment open
+    # nor drift as queries lazily open or the LRU evicts stores; resident
+    # stores report their logical footprint.
 
     def total_disk_bytes(self) -> int:
-        total = sum(
-            self._store_bytes(key, store) for key, store in self._stores.items()
-        )
+        total = sum(store.disk_bytes() for store in self._stores.values())
         if self._catalog is not None:
             total += sum(
                 entry.nbytes
@@ -180,7 +226,7 @@ class LineageRuntime:
     def disk_bytes_by_node(self) -> dict[str, int]:
         out: dict[str, int] = {}
         for key, store in self._stores.items():
-            out[key[0]] = out.get(key[0], 0) + self._store_bytes(key, store)
+            out[key[0]] = out.get(key[0], 0) + store.disk_bytes()
         if self._catalog is not None:
             for entry in self._catalog.entries():
                 if entry.key not in self._stores:
@@ -191,41 +237,86 @@ class LineageRuntime:
         return sum(store.write_seconds for store in self._stores.values())
 
     def clear_stores(self) -> None:
+        self.close()
         self._stores.clear()
-        self._catalog = None
+
+    def close(self) -> None:
+        """Release every mapping this runtime holds open: the catalog's
+        LRU cache, and any resident store hydrated straight from a segment."""
+        if self._catalog is not None:
+            self._catalog.close()
+            self._catalog = None
+        for store in self._stores.values():
+            if store._segment is not None:
+                store.close()
+
+    def __enter__(self) -> "LineageRuntime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- persistence --------------------------------------------------------------------
 
-    def flush_all(self, directory: str) -> int:
+    def flush_all(
+        self, directory: str, shard_threshold_bytes: int | None = None
+    ) -> int:
         """Persist every lineage store under ``directory`` as one segment
-        file each (lowered batch-scan tables included) plus a workflow
-        manifest (``catalog.json``); returns total bytes written.  Region
-        lineage stays a cache — this just lets a later session serve it
-        straight off disk instead of rebuilding it.
+        each (lowered batch-scan tables included; sharded into
+        ``.seg.0..k`` files above ``shard_threshold_bytes`` when given)
+        plus a workflow manifest (``catalog.json``); returns total bytes
+        written.  Region lineage stays a cache — this just lets a later
+        session serve it straight off disk instead of rebuilding it.
 
         When a catalog is attached, its entries that no query has opened
-        yet are opened first, so a lazy ``load_all`` followed by a
-        ``flush_all`` is lossless instead of silently dropping the stores
-        nobody touched."""
+        yet are borrowed (pinned) *one at a time* as the writer reaches
+        them, so a lazy ``load_all`` followed by a ``flush_all`` is
+        lossless, an LRU eviction racing the flush can never close a store
+        mid-write, and peak resident bytes overshoot the memory budget by
+        at most one store rather than the whole workflow."""
         from repro.core.catalog import StoreCatalog
 
-        if self._catalog is not None:
-            for node, strategy in self._catalog.keys():
-                self.store_for(node, strategy)
-        _, total = StoreCatalog.write(directory, self._stores)
+        resident = dict(self._stores)
+        catalog = self._catalog
+
+        class _Stores:
+            """One-at-a-time borrowing view consumed by StoreCatalog.write."""
+
+            @staticmethod
+            def items():
+                yield from resident.items()
+                if catalog is None:
+                    return
+                for key in catalog.keys():
+                    if key in resident:
+                        continue
+                    record = catalog.borrow(*key)
+                    if record is None:
+                        continue
+                    try:
+                        yield key, record.store
+                    finally:
+                        # runs as soon as the writer advances past this
+                        # store (or abandons the iteration)
+                        catalog.release(record)
+
+        _, total = StoreCatalog.write(
+            directory, _Stores(), shard_threshold_bytes=shard_threshold_bytes
+        )
         return total
 
-    def load_all(self, directory: str) -> int:
+    def load_all(self, directory: str, memory_budget_bytes: int | None = None) -> int:
         """Attach the catalog flushed to ``directory``; returns the number
         of stores it records.
 
         Nothing is materialised here: the manifest alone is read, the
         recorded strategies are registered so the query planner sees them,
         and each store's segment is opened lazily (mmap-backed) the first
-        time a query asks for it via :meth:`store_for`.  Directories
-        flushed before the segmented format (a ``manifest.json`` with
-        per-component ``.bin`` files) still load, eagerly, via the legacy
-        fallback."""
+        time a query asks for it via :meth:`store_for` or a session.
+        ``memory_budget_bytes`` bounds the catalog's open-store cache (LRU
+        eviction); None keeps it unbounded.  Directories flushed before
+        the segmented format (a ``manifest.json`` with per-component
+        ``.bin`` files) still load, eagerly, via the legacy fallback."""
         import os
 
         from repro.core.catalog import MANIFEST_NAME, StoreCatalog
@@ -234,7 +325,9 @@ class LineageRuntime:
             os.path.join(directory, "manifest.json")
         ):
             return self._load_legacy_manifest(directory)
-        return self.attach_catalog(StoreCatalog.open(directory))
+        return self.attach_catalog(
+            StoreCatalog.open(directory, memory_budget_bytes=memory_budget_bytes)
+        )
 
     def _load_legacy_manifest(self, directory: str) -> int:
         """Eagerly recreate every store of a pre-segment ``manifest.json``

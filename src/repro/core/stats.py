@@ -89,6 +89,16 @@ class StatsCollector:
 
     def __init__(self):
         self._stats: dict[str, OperatorStats] = {}
+        #: last serving-cache snapshot the query layer reported: hit/miss/
+        #: evict counts, open-mapping count, resident bytes.  Surfaced so
+        #: benchmarks and ``explain()`` can watch serving regressions.
+        self.serving: dict[str, int] = {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "open_mappings": 0,
+            "resident_bytes": 0,
+        }
 
     def get(self, node: str) -> OperatorStats:
         if node not in self._stats:
@@ -235,6 +245,11 @@ class StatsCollector:
             stats.observed_query_seconds[strategy_label] = seconds
         else:
             stats.observed_query_seconds[strategy_label] = 0.5 * prev + 0.5 * seconds
+
+    def record_serving(self, snapshot: dict[str, int]) -> None:
+        """Record the catalog cache's counters (cumulative snapshot, not a
+        delta) as reported after a query finishes."""
+        self.serving = dict(snapshot)
 
     # -- persistence ------------------------------------------------------------
     #

@@ -9,11 +9,24 @@ Typical use::
 
 Re-running after changing strategies rebuilds the lineage stores (region
 lineage is a cache; the versioned arrays are the ground truth).
+
+Concurrent serving::
+
+    with SubZero(spec, memory_budget_bytes=256 << 20) as sz:
+        sz.resume(versions, wal=wal, lineage_dir="lineage/")
+        results = sz.serve(queries, max_workers=8)
+
+``serve`` fans a query batch across a thread pool; every worker thread
+borrows stores through its own :class:`~repro.core.query.QuerySession`, so
+the catalog's LRU cache shares one mmap per store among the readers and
+never closes a mapping under a pinned session.
 """
 
 from __future__ import annotations
 
-from typing import Mapping
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -27,7 +40,7 @@ from repro.core.optimizer import (
     StrategyOptimizer,
     WorkloadProfile,
 )
-from repro.core.query import QueryExecutor, QueryResult
+from repro.core.query import QueryExecutor, QueryResult, QuerySession
 from repro.core.runtime import LineageRuntime
 from repro.core.stats import StatsCollector
 from repro.errors import QueryError, WorkflowError
@@ -48,12 +61,16 @@ class SubZero:
         constants: CostConstants | None = None,
         enable_entire_array: bool = True,
         enable_query_opt: bool = True,
+        memory_budget_bytes: int | None = None,
     ):
         self.spec = spec
         self.stats = StatsCollector()
         self.cost_model = CostModel(self.stats, constants)
         self.enable_entire_array = enable_entire_array
         self.enable_query_opt = enable_query_opt
+        #: cap on resident lineage-segment bytes when serving off a flushed
+        #: catalog (LRU eviction of open stores); None keeps it unbounded
+        self.memory_budget_bytes = memory_budget_bytes
         self._strategy_map: dict[str, tuple[StorageStrategy, ...]] = {}
         self.runtime: LineageRuntime | None = None
         self.instance: WorkflowInstance | None = None
@@ -128,22 +145,35 @@ class SubZero:
 
     # -- persistence / resumption ---------------------------------------------------
 
-    def flush_lineage(self, directory: str) -> int:
+    def flush_lineage(
+        self, directory: str, shard_threshold_bytes: int | None = None
+    ) -> int:
         """Persist every materialised lineage store under ``directory`` as
-        segment files plus a catalog manifest; returns bytes written."""
+        segment files plus a catalog manifest; returns bytes written.
+        Stores larger than ``shard_threshold_bytes`` (when given) are split
+        into ``.seg.0..k`` shard files a later reader maps piecemeal."""
         if self.runtime is None:
             raise WorkflowError("execute the workflow before flushing lineage")
-        return self.runtime.flush_all(directory)
+        return self.runtime.flush_all(
+            directory, shard_threshold_bytes=shard_threshold_bytes
+        )
 
-    def load_lineage(self, directory: str) -> int:
+    def load_lineage(
+        self, directory: str, memory_budget_bytes: int | None = None
+    ) -> int:
         """Attach a flushed lineage catalog for lazy serving.
 
         Only the manifest is read; individual stores open (mmap-backed, no
         decode) on the first query that needs them.  Returns the number of
-        stores the catalog records."""
+        stores the catalog records.  ``memory_budget_bytes`` (defaulting to
+        the facade-level budget) bounds the open-store cache."""
         if self.runtime is None:
             self.runtime = LineageRuntime(stats=self.stats)
-        loaded = self.runtime.load_all(directory)
+        if memory_budget_bytes is None:
+            memory_budget_bytes = self.memory_budget_bytes
+        loaded = self.runtime.load_all(
+            directory, memory_budget_bytes=memory_budget_bytes
+        )
         if self.instance is not None:
             self.executor = QueryExecutor(
                 self.instance,
@@ -173,7 +203,9 @@ class SubZero:
         if self.runtime is None:
             self.runtime = LineageRuntime(stats=self.stats)
         if lineage_dir is not None:
-            self.runtime.load_all(lineage_dir)
+            self.runtime.load_all(
+                lineage_dir, memory_budget_bytes=self.memory_budget_bytes
+            )
         self.executor = QueryExecutor(
             self.instance,
             self.runtime,
@@ -189,6 +221,56 @@ class SubZero:
         if self.executor is None:
             raise QueryError("execute the workflow before running lineage queries")
         return self.executor
+
+    def session(self) -> QuerySession:
+        """A borrow scope for a batch of queries: catalog stores touched
+        through it stay pinned (immune to LRU eviction, one shared mmap)
+        until the session closes.  Use as a context manager::
+
+            with sz.session() as session:
+                for q in queries:
+                    sz.execute_query(q, session=session)
+        """
+        if self.runtime is None:
+            raise QueryError("execute or resume the workflow before opening a session")
+        return QuerySession(self.runtime)
+
+    def serve(
+        self, queries: Sequence[LineageQuery], max_workers: int = 4
+    ) -> list[QueryResult]:
+        """Execute a batch of lineage queries on a thread pool.
+
+        Results come back in input order.  Each worker thread runs queries
+        through its own :class:`~repro.core.query.QuerySession`, so all
+        threads share one mmap per store (open-once/share-many) and the
+        memory budget's eviction never closes a store under a reader.
+        """
+        executor = self._require_executor()
+        if not queries:
+            return []
+        if max_workers <= 1:
+            return [executor.execute(q) for q in queries]
+        local = threading.local()
+        sessions: list[QuerySession] = []
+        sessions_lock = threading.Lock()
+
+        def run(query: LineageQuery) -> QueryResult:
+            session = getattr(local, "session", None)
+            if session is None:
+                session = QuerySession(self.runtime)
+                local.session = session
+                with sessions_lock:
+                    sessions.append(session)
+            return executor.execute(query, session=session)
+
+        try:
+            with ThreadPoolExecutor(
+                max_workers=max_workers, thread_name_prefix="subzero-serve"
+            ) as pool:
+                return list(pool.map(run, queries))
+        finally:
+            for session in sessions:
+                session.close()
 
     def backward_query(self, cells, path, **overrides) -> QueryResult:
         return self._require_executor().backward(cells, path, **overrides)
@@ -247,6 +329,22 @@ class SubZero:
         if apply:
             self.apply_plan(result.plan)
         return result
+
+    # -- lifecycle ------------------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release every open lineage mapping (catalog cache included).
+
+        Safe to call twice; a closed engine can still re-run or re-load —
+        closing only drops what is currently mapped."""
+        if self.runtime is not None:
+            self.runtime.close()
+
+    def __enter__(self) -> "SubZero":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- accounting -----------------------------------------------------------------------------
 

@@ -64,6 +64,7 @@ Everything is vectorised with numpy; nothing here loops over cells.
 from __future__ import annotations
 
 import struct
+import threading
 
 import numpy as np
 
@@ -954,6 +955,9 @@ class BatchProbe:
             raise StorageError("batch probe offsets and ends must align")
         self.n_entries = int(self._offsets.size)
         self._lowered: _LoweredHeap | None = None
+        # one thread lowers, everyone else waits and reuses the tables —
+        # concurrent serving threads must not race the (expensive) cache fill
+        self._lower_lock = threading.Lock()
 
     # -- lowering ----------------------------------------------------------
 
@@ -968,6 +972,12 @@ class BatchProbe:
         discarding — a nearly-finished walk.
         """
         if self._lowered is not None:
+            return self._lowered
+        with self._lower_lock:
+            return self._lower_locked(ticker)
+
+    def _lower_locked(self, ticker=None) -> "_LoweredHeap":
+        if self._lowered is not None:  # another thread finished the walk
             return self._lowered
         buf = self._buf
         run_s: list[np.ndarray] = []

@@ -28,6 +28,7 @@ keep loading.
 from __future__ import annotations
 
 import struct
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -60,6 +61,10 @@ class HashStore:
         self._chunks: list[_Chunk] = []
         self._segment: _Chunk | None = None
         self._dirty = False
+        # guards the pending->segment merge so concurrent readers (serving
+        # sessions) cannot race a finalize; writes themselves stay
+        # single-threaded (the ingest path), per the serving contract
+        self._flock = threading.RLock()
 
     # -- writes -------------------------------------------------------------
 
@@ -110,33 +115,36 @@ class HashStore:
 
     def finalize(self) -> None:
         """Sort every pending chunk into the single query segment."""
-        if not self._dirty:
+        if not self._dirty:  # racy fast path; re-checked under the lock
             return
-        chunks = list(self._chunks)
-        if self._segment is not None:
-            chunks.append(self._segment)
-        total = sum(c.keys.size for c in chunks)
-        if total == 0:
-            self._segment = None
+        with self._flock:
+            if not self._dirty:
+                return
+            chunks = list(self._chunks)
+            if self._segment is not None:
+                chunks.append(self._segment)
+            total = sum(c.keys.size for c in chunks)
+            if total == 0:
+                self._segment = None
+                self._chunks = []
+                self._dirty = False
+                return
+            keys = np.concatenate([c.keys for c in chunks])
+            lengths = np.concatenate([np.diff(c.offsets) for c in chunks])
+            buf = b"".join(c.buf for c in chunks)
+            starts = np.concatenate(
+                [c.offsets[:-1] + base for c, base in zip(chunks, _bases(chunks))]
+            )
+            order = np.argsort(keys, kind="stable")
+            keys = keys[order]
+            lengths = lengths[order]
+            starts = starts[order]
+            new_offsets = np.zeros(total + 1, dtype=np.int64)
+            np.cumsum(lengths, out=new_offsets[1:])
+            new_buf = _gather_slices(buf, starts, lengths, int(new_offsets[-1]))
+            self._segment = _Chunk(keys, new_offsets, new_buf)
             self._chunks = []
             self._dirty = False
-            return
-        keys = np.concatenate([c.keys for c in chunks])
-        lengths = np.concatenate([np.diff(c.offsets) for c in chunks])
-        buf = b"".join(c.buf for c in chunks)
-        starts = np.concatenate(
-            [c.offsets[:-1] + base for c, base in zip(chunks, _bases(chunks))]
-        )
-        order = np.argsort(keys, kind="stable")
-        keys = keys[order]
-        lengths = lengths[order]
-        starts = starts[order]
-        new_offsets = np.zeros(total + 1, dtype=np.int64)
-        np.cumsum(lengths, out=new_offsets[1:])
-        new_buf = _gather_slices(buf, starts, lengths, int(new_offsets[-1]))
-        self._segment = _Chunk(keys, new_offsets, new_buf)
-        self._chunks = []
-        self._dirty = False
 
     # -- reads ----------------------------------------------------------------
 
@@ -321,21 +329,31 @@ class BlobStore:
         self._ends = np.empty(0, dtype=np.int64)
         self._pending: list[bytes] = []
         self._probes: dict = {}
+        #: ``(segment, prefix, fields)`` when persisted lowered tables are
+        #: available but not yet hydrated (lazy per-shard load)
+        self._probe_source: tuple | None = None
+        # serializes heap finalization and probe construction so concurrent
+        # reader threads cannot race a cache fill (serving contract)
+        self._flock = threading.RLock()
 
     def _finalize(self) -> None:
-        if not self._pending:
+        if not self._pending:  # racy fast path; re-checked under the lock
             return
-        lengths = np.asarray([len(b) for b in self._pending], dtype=np.int64)
-        base = len(self._buf)
-        new_ends = base + np.cumsum(lengths)
-        self._buf = bytes(self._buf) + b"".join(self._pending)
-        self._starts = np.concatenate([self._starts, new_ends - lengths])
-        self._ends = np.concatenate([self._ends, new_ends])
-        self._pending = []
+        with self._flock:
+            if not self._pending:
+                return
+            lengths = np.asarray([len(b) for b in self._pending], dtype=np.int64)
+            base = len(self._buf)
+            new_ends = base + np.cumsum(lengths)
+            self._buf = bytes(self._buf) + b"".join(self._pending)
+            self._starts = np.concatenate([self._starts, new_ends - lengths])
+            self._ends = np.concatenate([self._ends, new_ends])
+            self._pending = []
 
     def append(self, data: bytes) -> int:
         self._pending.append(bytes(data))
         self._probes = {}
+        self._probe_source = None
         return self._ends.size + len(self._pending) - 1
 
     def append_many(self, blobs: list[bytes]) -> np.ndarray:
@@ -343,6 +361,7 @@ class BlobStore:
         for blob in blobs:
             self._pending.append(bytes(blob))
         self._probes = {}
+        self._probe_source = None
         return np.arange(start, len(self), dtype=np.int64)
 
     def batch_probe(self, field: int = 0, ticker=None) -> "codecs.BatchProbe":
@@ -359,22 +378,44 @@ class BlobStore:
         """
         probe = self._probes.get(field)
         if probe is None:
-            self._finalize()
-            buf, starts, ends = self._buf, self._starts, self._ends
-            if field:
-                if ticker is not None:
-                    ticker()
-                shifted = np.empty(starts.size, dtype=np.int64)
-                for j, (start, end) in enumerate(zip(starts, ends)):
-                    shifted[j] = codecs.skip_fields(buf, int(start), int(end), field)
-                starts = shifted
-            probe = codecs.BatchProbe(buf, starts, ends)
-            self._probes[field] = probe
+            with self._flock:
+                probe = self._probes.get(field)
+                if probe is None and self._probe_source is not None:
+                    seg, prefix, fields = self._probe_source
+                    if field in fields:
+                        # hydrate from the persisted lowered tables; this is
+                        # the access that maps the shard holding them
+                        tables = {
+                            tname: seg.array(f"{prefix}probe{field}.{tname}")
+                            for tname in codecs.BatchProbe.LOWERED_NAMES
+                        }
+                        probe = codecs.BatchProbe.from_lowered(
+                            self._buf, self._ends.size, tables
+                        )
+                        self._probes[field] = probe
+                if probe is None:
+                    self._finalize()
+                    buf, starts, ends = self._buf, self._starts, self._ends
+                    if field:
+                        if ticker is not None:
+                            ticker()
+                        shifted = np.empty(starts.size, dtype=np.int64)
+                        for j, (start, end) in enumerate(zip(starts, ends)):
+                            shifted[j] = codecs.skip_fields(
+                                buf, int(start), int(end), field
+                            )
+                        starts = shifted
+                    probe = codecs.BatchProbe(buf, starts, ends)
+                    self._probes[field] = probe
         return probe
 
     def probe_fields(self) -> set[int]:
-        """Fields whose lowered batch-probe tables are currently warm."""
-        return {f for f, p in self._probes.items() if p._lowered is not None}
+        """Fields whose lowered batch-probe tables are warm — cached, or
+        persisted in the backing segment (lazy hydration, no header walk)."""
+        fields = {f for f, p in self._probes.items() if p._lowered is not None}
+        if self._probe_source is not None:
+            fields |= set(self._probe_source[2])
+        return fields
 
     def get(self, blob_id: int) -> bytes:
         i = int(blob_id)
@@ -409,7 +450,8 @@ class BlobStore:
         writer.add_bytes(prefix + "buf", self._buf)
         writer.add_array(prefix + "ends", self._ends)
         for field in fields:
-            tables = self._probes[field].lowered_tables()
+            # batch_probe hydrates lazily-persisted tables when needed
+            tables = self.batch_probe(field=field).lowered_tables()
             for tname in codecs.BatchProbe.LOWERED_NAMES:
                 writer.add_array(f"{prefix}probe{field}.{tname}", tables[tname])
 
@@ -428,14 +470,11 @@ class BlobStore:
             starts[0] = 0
             starts[1:] = ends[:-1]
         store._starts = starts
-        for field in meta.get("probe_fields", []):
-            tables = {
-                tname: seg.array(f"{prefix}probe{field}.{tname}")
-                for tname in codecs.BatchProbe.LOWERED_NAMES
-            }
-            store._probes[int(field)] = codecs.BatchProbe.from_lowered(
-                store._buf, ends.size, tables
-            )
+        fields = [int(f) for f in meta.get("probe_fields", [])]
+        if fields:
+            # defer hydration: the shard holding the lowered tables is
+            # mapped only when a mismatched scan first asks for a probe
+            store._probe_source = (seg, prefix, fields)
         return store
 
     def flush(self, path: str) -> int:
@@ -464,6 +503,7 @@ class BlobStore:
         self._ends = np.empty(0, dtype=np.int64)
         self._pending = []
         self._probes = {}
+        self._probe_source = None
 
 
 def _bases(chunks: list[_Chunk]) -> list[int]:

@@ -32,6 +32,21 @@ Versioning policy: the format version is bumped when the layout of existing
 sections changes incompatibly; readers refuse *newer* versions and keep
 accepting all older ones.  Adding new (optional) section names is not a
 version bump — readers ignore sections they do not ask for.
+
+Sharing and lifecycle: a mapped :class:`Segment` is *open-once/share-many* —
+it carries a reference count (:meth:`Segment.acquire` / :meth:`Segment.close`)
+so N reader threads reuse one mmap, and the mapping is released when the
+last holder closes.  Releasing is best-effort under live numpy views (the OS
+mapping survives until the final exported buffer dies), but a closed handle
+refuses all further section access, which is the invariant the serving
+cache's eviction relies on.
+
+Sharding: stores above a size threshold flush as ``<name>.seg.0..k`` shard
+files instead of one monolithic segment (:meth:`SegmentWriter.write_sharded`).
+Every shard is itself a complete, independently-checksummed segment file;
+shard 0 additionally carries a ``__shards__`` JSON section mapping every
+section name to its shard, so :class:`ShardedSegment` opens shard 0 only
+and maps sibling shards lazily on the first access that needs them.
 """
 
 from __future__ import annotations
@@ -40,16 +55,33 @@ import json
 import mmap
 import os
 import struct
+import threading
 import zlib
 
 import numpy as np
 
 from repro.errors import StorageError
 
-__all__ = ["MAGIC", "VERSION", "Segment", "SegmentWriter", "is_segment_file"]
+__all__ = [
+    "MAGIC",
+    "VERSION",
+    "Segment",
+    "SegmentWriter",
+    "ShardedSegment",
+    "is_segment_file",
+    "open_segment",
+    "segment_files",
+]
 
 MAGIC = b"SZSG"
 VERSION = 1
+
+#: name of the shard-index JSON section stored in shard 0 of a sharded write
+SHARD_INDEX_SECTION = "__shards__"
+
+#: name of the per-shard JSON section naming the flush every shard belongs
+#: to; shards of one store must agree or the reader refuses them
+SHARD_META_SECTION = "__shard_meta__"
 
 _HEADER = struct.Struct("<4sHq")  # magic, version, manifest length
 _KINDS = ("array", "bytes", "json")
@@ -66,6 +98,37 @@ def is_segment_file(path: str) -> bool:
             return fh.read(len(MAGIC)) == MAGIC
     except OSError:
         return False
+
+
+def segment_files(path: str) -> list[str]:
+    """The file(s) actually backing the logical segment ``path``.
+
+    ``[path]`` for a monolithic segment, ``[path.0, ..., path.k]`` for a
+    sharded one, ``[]`` when neither exists.  The shard scan stops at the
+    first gap, matching the contiguous numbering the writer guarantees.
+    """
+    if os.path.exists(path):
+        return [path]
+    files: list[str] = []
+    i = 0
+    while os.path.exists(f"{path}.{i}"):
+        files.append(f"{path}.{i}")
+        i += 1
+    return files
+
+
+def open_segment(path: str, verify: bool = False):
+    """Open the segment at ``path``, monolithic or sharded.
+
+    Returns a :class:`Segment` when ``path`` itself exists, a
+    :class:`ShardedSegment` when ``path.0`` does; raises
+    :class:`~repro.errors.StorageError` when neither is present.
+    """
+    if os.path.exists(path):
+        return Segment.open(path, verify=verify)
+    if os.path.exists(path + ".0"):
+        return ShardedSegment.open(path, verify=verify)
+    raise StorageError(f"no segment (monolithic or sharded) at {path!r}")
 
 
 class SegmentWriter:
@@ -134,16 +197,157 @@ class SegmentWriter:
                 fh.write(payload)
                 pos = record["offset"] + record["length"]
         os.replace(tmp, path)
+        _remove_stale_shards(path, 0)
         return os.path.getsize(path)
+
+    def write_sharded(self, path: str, shard_payload_bytes: int) -> tuple[int, list[str]]:
+        """Write the collected sections as ``path.0 .. path.k`` shard files.
+
+        Sections are assigned to shards by sequential fill: a shard closes
+        when adding the next section would push it past
+        ``shard_payload_bytes`` (a shard always takes at least one section,
+        so a single oversized section still writes).  Shard 0 leads with the
+        :data:`SHARD_INDEX_SECTION` JSON section naming every shard file and
+        mapping each section name to its shard index; every shard is a
+        complete segment file with its own manifest and checksums.
+
+        Every shard also carries a :data:`SHARD_META_SECTION` naming the
+        flush it belongs to (a fresh random token per write).  There is no
+        atomic cross-file commit, so a crash mid-reflush over an existing
+        sharded store can leave files from two flushes side by side — each
+        internally checksum-clean.  The flush token turns that from silent
+        mixed-generation reads into a loud :class:`StorageError` at open
+        (and a quarantine under recovery, which is the cache contract).
+
+        Falls back to a monolithic :meth:`write` when everything fits in one
+        shard.  Returns ``(total_bytes_written, files)``.
+        """
+        import uuid
+
+        groups: list[list[int]] = []
+        current: list[int] = []
+        size = 0
+        for i, record in enumerate(self._sections):
+            if current and size + record["length"] > shard_payload_bytes:
+                groups.append(current)
+                current, size = [], 0
+            current.append(i)
+            size += record["length"]
+        if current:
+            groups.append(current)
+        if len(groups) <= 1:
+            return self.write(path), [path]
+        basename = os.path.basename(path)
+        flush_token = uuid.uuid4().hex
+        files = [f"{path}.{s}" for s in range(len(groups))]
+        index = {
+            "files": [f"{basename}.{s}" for s in range(len(groups))],
+            "sections": {
+                self._sections[i]["name"]: s
+                for s, group in enumerate(groups)
+                for i in group
+            },
+        }
+        total = 0
+        for s, group in enumerate(groups):
+            shard = SegmentWriter()
+            shard.add_json(
+                SHARD_META_SECTION, {"flush": flush_token, "ordinal": s}
+            )
+            if s == 0:
+                shard.add_json(SHARD_INDEX_SECTION, index)
+            for i in group:
+                record = self._sections[i]
+                shard._add(
+                    record["name"],
+                    record["kind"],
+                    self._payloads[i],
+                    {
+                        k: record[k]
+                        for k in ("dtype", "shape")
+                        if k in record
+                    },
+                )
+            total += shard.write(files[s])
+        # a re-flush may shrink the shard count or replace an old monolith;
+        # drop whichever stale files would shadow or trail the new layout
+        if os.path.exists(path):
+            os.remove(path)
+        _remove_stale_shards(path, len(groups))
+        return total, files
+
+
+def _remove_stale_shards(path: str, first_stale: int) -> None:
+    """Remove ``path.N`` files for ``N >= first_stale`` (contiguous run)."""
+    i = first_stale
+    while os.path.exists(f"{path}.{i}"):
+        os.remove(f"{path}.{i}")
+        i += 1
 
 
 class Segment:
-    """A read-only, lazily mapped segment file (see module docstring)."""
+    """A read-only, lazily mapped segment file (see module docstring).
+
+    Mappings are refcounted so one open segment is shared by many readers:
+    :meth:`acquire` hands out another reference, :meth:`close` drops one,
+    and the mmap is released when the count reaches zero.  After the last
+    close every section accessor raises, so a cache that evicted the
+    segment can never serve reads through a stale handle.
+    """
 
     def __init__(self, path: str, sections: dict[str, dict], mm: mmap.mmap):
         self.path = path
         self._sections = sections
         self._mm = mm
+        #: mapped file size in bytes (what this handle costs a memory budget)
+        self.nbytes = len(mm)
+        self._refs = 1
+        self._lock = threading.Lock()
+
+    # -- sharing / lifecycle -------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._refs <= 0
+
+    def acquire(self) -> "Segment":
+        """Take another reference to the shared mapping."""
+        with self._lock:
+            if self._refs <= 0:
+                raise StorageError(f"segment {self.path!r} is closed")
+            self._refs += 1
+        return self
+
+    def close(self) -> None:
+        """Drop one reference; the mapping is released at zero.
+
+        Releasing is best-effort: live numpy views over the mapping export
+        its buffer, in which case the OS mapping survives until the last
+        view is garbage-collected — but the handle is *logically* closed
+        either way, and further section access raises.
+        """
+        with self._lock:
+            if self._refs <= 0:
+                return
+            self._refs -= 1
+            if self._refs > 0:
+                return
+            try:
+                self._mm.close()
+            except BufferError:
+                # numpy views still export the buffer; the mapping is freed
+                # when the last view dies.  The handle stays closed.
+                pass
+
+    def __enter__(self) -> "Segment":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._refs <= 0:
+            raise StorageError(f"segment {self.path!r} is closed")
 
     @classmethod
     def open(cls, path: str, verify: bool = False) -> "Segment":
@@ -220,7 +424,13 @@ class Segment:
             mm = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
         seg = cls(path, sections, mm)
         if verify:
-            seg.verify()
+            try:
+                seg.verify()
+            except StorageError:
+                # release the mapping before reporting: quarantine renames
+                # the file next, which needs it unmapped (Windows)
+                seg.close()
+                raise
         return seg
 
     # -- section access ------------------------------------------------------
@@ -239,6 +449,7 @@ class Segment:
 
     def array(self, name: str) -> np.ndarray:
         """Zero-copy numpy view of an array section (pages in lazily)."""
+        self._check_open()
         record = self._record(name)
         if record["kind"] != "array":
             raise StorageError(f"section {name!r} is not an array section")
@@ -251,6 +462,7 @@ class Segment:
 
     def view(self, name: str):
         """Zero-copy memoryview of a bytes section."""
+        self._check_open()
         record = self._record(name)
         return memoryview(self._mm)[record["offset"]: record["offset"] + record["length"]]
 
@@ -272,17 +484,202 @@ class Segment:
 
     def verify(self, names: list[str] | None = None) -> None:
         """Checksum sections (all by default); raise on the first mismatch."""
+        self._check_open()
         for name in names if names is not None else self._sections:
             record = self._record(name)
             payload = memoryview(self._mm)[
                 record["offset"]: record["offset"] + record["length"]
             ]
-            if (zlib.crc32(payload) & 0xFFFFFFFF) != record["crc32"]:
+            # release the view before any raise: a view captured in the
+            # exception's traceback would keep the buffer exported, making
+            # the close() that precedes a quarantine rename a silent no-op
+            try:
+                crc = zlib.crc32(payload) & 0xFFFFFFFF
+            finally:
+                payload.release()
+            if crc != record["crc32"]:
                 raise StorageError(
                     f"segment {self.path!r}: section {name!r} failed its checksum "
                     "(corrupt or truncated payload)"
                 )
 
+
+class ShardedSegment:
+    """Reader over a sharded segment: ``<path>.0 .. <path>.k``.
+
+    Presents the same section API as :class:`Segment`.  Only shard 0 is
+    mapped at open time (it carries the :data:`SHARD_INDEX_SECTION` table);
+    sibling shards map lazily on the first access to a section they own, so
+    touching one component of a large sharded store never pays the
+    monolithic open.  Shares :class:`Segment`'s refcounted lifecycle.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        files: list[str],
+        index: dict[str, int],
+        shard0: Segment,
+        flush_token: str | None,
+    ):
+        self.path = path
+        self._files = files
+        self._index = index  # section name -> shard ordinal
+        self._shards: list[Segment | None] = [shard0] + [None] * (len(files) - 1)
+        #: the write that produced this store; sibling shards must carry the
+        #: same token or they belong to a different (interrupted) flush
+        self._flush_token = flush_token
+        self._refs = 1
+        self._lock = threading.Lock()
+
+    @classmethod
+    def open(cls, path: str, verify: bool = False) -> "ShardedSegment":
+        """Map shard 0 of ``path`` and parse its shard index.
+
+        ``verify=True`` opens and checksums *every* shard eagerly (which
+        also catches mixed-flush shard sets via the per-shard token).
+        """
+        shard0 = Segment.open(path + ".0")
+        try:
+            index_obj = shard0.json(SHARD_INDEX_SECTION)
+            files = [
+                os.path.join(os.path.dirname(path) or ".", f)
+                for f in index_obj["files"]
+            ]
+            sections = {str(k): int(v) for k, v in index_obj["sections"].items()}
+            flush_token = None
+            if shard0.has(SHARD_META_SECTION):
+                flush_token = str(shard0.json(SHARD_META_SECTION)["flush"])
+        except (StorageError, KeyError, TypeError, ValueError) as exc:
+            shard0.close()
+            raise StorageError(
+                f"sharded segment {path!r}: corrupt shard index: {exc}"
+            ) from exc
+        seg = cls(path, files, sections, shard0, flush_token)
+        if verify:
+            try:
+                seg.verify()
+            except StorageError:
+                seg.close()
+                raise
+        return seg
+
+    # -- sharing / lifecycle -------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._refs <= 0
+
+    @property
+    def shard_files(self) -> list[str]:
+        return list(self._files)
+
+    def open_shard_count(self) -> int:
+        """How many shard files are actually mapped (laziness probe)."""
+        return sum(1 for s in self._shards if s is not None)
+
+    def mapped_bytes(self) -> int:
+        """Bytes of the shards actually mapped so far — what this handle
+        really costs a memory budget (a lazily-opened store may have most
+        of its shards unmapped)."""
+        return sum(s.nbytes for s in self._shards if s is not None)
+
+    def acquire(self) -> "ShardedSegment":
+        with self._lock:
+            if self._refs <= 0:
+                raise StorageError(f"sharded segment {self.path!r} is closed")
+            self._refs += 1
+        return self
+
     def close(self) -> None:
-        """Release the mapping.  Only safe when no views remain in use."""
-        self._mm.close()
+        with self._lock:
+            if self._refs <= 0:
+                return
+            self._refs -= 1
+            if self._refs > 0:
+                return
+            for shard in self._shards:
+                if shard is not None:
+                    shard.close()
+
+    def __enter__(self) -> "ShardedSegment":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- section access ------------------------------------------------------
+
+    def _open_shard_locked(self, ordinal: int) -> Segment:
+        """Map shard ``ordinal`` if needed, validating that it belongs to
+        the same flush as shard 0 — a crash mid-reflush can leave
+        internally-clean shards of two different writes side by side, and
+        mixing them must fail loudly, never read across generations."""
+        shard = self._shards[ordinal]
+        if shard is None:
+            shard = Segment.open(self._files[ordinal])
+            try:
+                meta = (
+                    shard.json(SHARD_META_SECTION)
+                    if shard.has(SHARD_META_SECTION)
+                    else {}
+                )
+                if meta.get("flush") != self._flush_token or (
+                    int(meta.get("ordinal", -1)) != ordinal
+                ):
+                    raise StorageError(
+                        f"sharded segment {self.path!r}: shard {ordinal} "
+                        "belongs to a different flush than shard 0 "
+                        "(interrupted re-flush?); refusing to mix shard "
+                        "generations"
+                    )
+            except StorageError:
+                shard.close()
+                raise
+            self._shards[ordinal] = shard
+        return shard
+
+    def _shard_for(self, name: str) -> Segment:
+        with self._lock:
+            if self._refs <= 0:
+                raise StorageError(f"sharded segment {self.path!r} is closed")
+            ordinal = self._index.get(name)
+            if ordinal is None:
+                raise StorageError(
+                    f"sharded segment {self.path!r} has no section {name!r}"
+                )
+            return self._open_shard_locked(ordinal)
+
+    def has(self, name: str) -> bool:
+        return name in self._index
+
+    def names(self) -> list[str]:
+        return list(self._index)
+
+    def array(self, name: str) -> np.ndarray:
+        return self._shard_for(name).array(name)
+
+    def view(self, name: str):
+        return self._shard_for(name).view(name)
+
+    def read_bytes(self, name: str) -> bytes:
+        return self._shard_for(name).read_bytes(name)
+
+    def json(self, name: str):
+        return self._shard_for(name).json(name)
+
+    # -- integrity -----------------------------------------------------------
+
+    def verify(self, names: list[str] | None = None) -> None:
+        """Checksum sections; with no names, every shard is opened and
+        verified in full (including sections of shards not yet mapped)."""
+        if names is not None:
+            for name in names:
+                self._shard_for(name).verify([name])
+            return
+        for ordinal in range(len(self._files)):
+            with self._lock:
+                if self._refs <= 0:
+                    raise StorageError(f"sharded segment {self.path!r} is closed")
+                shard = self._open_shard_locked(ordinal)
+            shard.verify()

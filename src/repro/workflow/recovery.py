@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from repro.arrays.versions import VersionStore
 from repro.core.catalog import StoreCatalog
 from repro.errors import StorageError, WorkflowError
-from repro.storage.segment import Segment
+from repro.storage.segment import open_segment
 from repro.storage.wal import WriteAheadLog
 from repro.workflow.instance import NodeExecution, WorkflowInstance
 from repro.workflow.spec import WorkflowSpec
@@ -74,7 +74,11 @@ def recover_lineage(
     for entry in catalog.entries():
         path = os.path.join(directory, entry.file)
         try:
-            seg = Segment.open(path, verify=True)
+            # open_segment resolves both monolithic segments and sharded
+            # ``.seg.0..k`` stores; verify=True checksums every shard.  The
+            # mapping is closed before any rename: Windows cannot rename a
+            # mapped file, so quarantine must not depend on GC timing.
+            seg = open_segment(path, verify=True)
             seg.close()
         except (StorageError, OSError) as exc:
             error = StorageError(
@@ -84,8 +88,10 @@ def recover_lineage(
             )
             if strict:
                 raise error from exc
-            if os.path.exists(path):
-                os.replace(path, path + QUARANTINE_SUFFIX)
+            for fname in entry.files:  # every shard of a sharded store
+                fpath = os.path.join(directory, fname)
+                if os.path.exists(fpath):
+                    os.replace(fpath, fpath + QUARANTINE_SUFFIX)
             catalog.drop(entry.node, entry.strategy)
             quarantined.append((entry.file, error))
     if quarantined:
