@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Compare a bench run's ``BENCH_<name>.json`` files against committed
+baselines, so perf trajectory is a diff CI reads — not a text table a
+human has to.
+
+Usage::
+
+    python benchmarks/check_regressions.py [--require] [BENCH_*.json ...]
+
+With no file arguments, every ``BENCH_*.json`` in the working directory is
+checked.  ``--require`` makes a *missing* produced file a failure — used
+by jobs whose bench step is continue-on-error, where a bench that crashed
+before publishing its metrics must not slip through as green.  For each produced file, the committed baseline
+``benchmarks/baselines/BENCH_<name>.json`` declares acceptable ranges::
+
+    {"metrics": {"append_bytes_ratio": {"min": 4.0},
+                 "read_amp_compacted": {"max": 1.6},
+                 "generations_after":  {"min": 1, "max": 1}}}
+
+Rules, tuned to be *non-flaky* on shared CI runners:
+
+* Only metrics named in the baseline are compared (extra produced metrics
+  are informational — absolute wall-clock numbers live there).
+* Baseline bounds should be ratios and counters with generous slack, never
+  tight absolute timings.
+* A produced file missing a baselined metric FAILS (the bench silently
+  stopped measuring something).
+* A produced file with no committed baseline is reported and skipped; a
+  missing produced file is reported and skipped (the bench itself failing
+  is surfaced by its own CI step).
+
+Exit status 0 when every compared metric is in range, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import sys
+
+BASELINE_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "baselines")
+
+
+def _load(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def check_file(produced_path: str, require: bool = False) -> tuple[int, int]:
+    """Check one produced file; returns (compared, failures)."""
+    name = os.path.basename(produced_path)
+    baseline_path = os.path.join(BASELINE_DIR, name)
+    if not os.path.exists(produced_path):
+        if require:
+            print(f"FAIL {name}: required but not produced by this run")
+            return 1, 1
+        print(f"SKIP {name}: not produced by this run")
+        return 0, 0
+    if not os.path.exists(baseline_path):
+        print(f"SKIP {name}: no committed baseline (add one under benchmarks/baselines/)")
+        return 0, 0
+    produced = _load(produced_path).get("metrics", {})
+    baseline = _load(baseline_path).get("metrics", {})
+    compared = failures = 0
+    for metric, bounds in sorted(baseline.items()):
+        compared += 1
+        if metric not in produced:
+            print(f"FAIL {name}: metric {metric!r} missing from this run")
+            failures += 1
+            continue
+        value = produced[metric]
+        lo = bounds.get("min")
+        hi = bounds.get("max")
+        ok = (lo is None or value >= lo) and (hi is None or value <= hi)
+        bound_str = "[{}, {}]".format(
+            "-inf" if lo is None else lo, "inf" if hi is None else hi
+        )
+        status = "ok  " if ok else "FAIL"
+        print(f"{status} {name}: {metric} = {value:g}  expected {bound_str}")
+        if not ok:
+            failures += 1
+    return compared, failures
+
+
+def main(argv: list[str]) -> int:
+    require = "--require" in argv
+    paths = [a for a in argv if a != "--require"] or sorted(glob.glob("BENCH_*.json"))
+    if not paths:
+        print("no BENCH_*.json files to check")
+        return 1 if require else 0
+    total = bad = 0
+    for path in paths:
+        compared, failures = check_file(path, require=require)
+        total += compared
+        bad += failures
+    print(f"\nchecked {total} baselined metrics, {bad} out of range")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

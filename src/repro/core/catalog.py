@@ -26,16 +26,41 @@ LRU-bounded open-store cache**:
   :meth:`stats` so serving regressions show up in benchmarks and
   ``QueryResult.explain()``.
 
-The manifest records, per store: the node, the strategy triple, the array
-shapes needed to reconstruct the store object, the segment filename (plus
-the shard filenames when the store was sharded), its size, and whether the
-lowered tables were persisted.  ``catalog.json`` is written atomically
-(tmp + ``os.replace``) so a crash mid-write can never brick the catalog.
+Since the append-merge refactor the catalog is also **generational**:
+
+* :meth:`StoreCatalog.append_stores` writes a run's stores as *delta
+  segments* (``<name>.gen.<g>.seg``, see
+  :func:`repro.storage.segment.generation_path`) and registers them as
+  additional generations of the same ``(node, strategy)`` key — the cheap
+  incremental commit, O(delta) instead of O(catalog).
+* :meth:`borrow` / :meth:`open_store` transparently serve a
+  multi-generation key through an
+  :class:`~repro.core.overlay.OverlayStore` — the union view that consults
+  every live generation, newest first, using each generation's own
+  persisted indexes and lowered tables.
+* :meth:`StoreCatalog.compact` merges a key's generations back into one
+  base segment *online*: the merged segment is written to a tmp file and
+  renamed into place, the manifest is swapped atomically, and concurrent
+  sessions pinned on the old generation set keep serving it — the delta
+  files they still map are unlinked only when the last pin drops
+  (``_OpenStore.unlink_on_close``).  Eviction accounting is per
+  generation: an overlay is charged the sum of its generations' *mapped*
+  bytes, so a mostly-unmapped sharded delta costs what it maps.
+
+The manifest records, per store generation: the node, the strategy triple,
+the generation ordinal (omitted when 0 — a never-appended catalog is
+byte-compatible with the pre-generation schema), the array shapes needed
+to reconstruct the store object, the segment filename (plus the shard
+filenames when the store was sharded), its size, and whether the lowered
+tables were persisted.  ``catalog.json`` is written atomically (tmp +
+``os.replace``) so a crash mid-write can never brick the catalog.
 
 Corruption handling lives in :func:`repro.workflow.recovery.recover_lineage`,
-which checksum-verifies every segment (all shards) against the manifest and
-quarantines the corrupt ones; :meth:`StoreCatalog.open_store` itself only
-does the structural validation that segment opening performs.
+which checksum-verifies every segment (all shards, all generations) against
+the manifest and quarantines the corrupt ones — a torn generation is set
+aside without losing the older generations under it;
+:meth:`StoreCatalog.open_store` itself only does the structural validation
+that segment opening performs.
 """
 
 from __future__ import annotations
@@ -49,10 +74,17 @@ from typing import Iterable, Mapping
 
 from repro.core.lineage_store import OpLineageStore, make_store
 from repro.core.modes import EncodingKind, LineageMode, Orientation, StorageStrategy
+from repro.core.overlay import OverlayStore
 from repro.errors import StorageError
 from repro.storage import segment as seglib
 
-__all__ = ["CatalogEntry", "StoreCatalog", "MANIFEST_NAME", "store_filename"]
+__all__ = [
+    "CatalogEntry",
+    "CompactionReport",
+    "StoreCatalog",
+    "MANIFEST_NAME",
+    "store_filename",
+]
 
 MANIFEST_NAME = "catalog.json"
 FORMAT = "subzero-catalog"
@@ -87,7 +119,12 @@ def _strategy_from_json(obj: Mapping) -> StorageStrategy:
 
 @dataclass(frozen=True)
 class CatalogEntry:
-    """One persisted store, as the manifest records it."""
+    """One persisted store *generation*, as the manifest records it.
+
+    A key that was only ever fully flushed has a single generation-0 entry;
+    every ``append_stores`` adds one more (``gen`` 1, 2, …) until a
+    compaction collapses them back to one.
+    """
 
     node: str
     strategy: StorageStrategy
@@ -99,6 +136,8 @@ class CatalogEntry:
     #: shard filenames (``<file>.0..k``) when the store was flushed sharded;
     #: empty for a monolithic segment
     shards: tuple[str, ...] = ()
+    #: generation ordinal; 0 is the base segment, higher is a newer delta
+    gen: int = 0
 
     @property
     def key(self) -> tuple[str, StorageStrategy]:
@@ -106,8 +145,26 @@ class CatalogEntry:
 
     @property
     def files(self) -> tuple[str, ...]:
-        """The on-disk file(s) actually backing this store."""
+        """The on-disk file(s) actually backing this store generation."""
         return self.shards if self.shards else (self.file,)
+
+
+@dataclass
+class CompactionReport:
+    """What one :meth:`StoreCatalog.compact` call did."""
+
+    #: ``(node, strategy, generations_merged)`` per compacted key
+    compacted: list[tuple[str, StorageStrategy, int]] = field(default_factory=list)
+    #: keys left multi-generation because the rewrite budget ran out
+    skipped: list[tuple[str, StorageStrategy]] = field(default_factory=list)
+    #: size of the merged base segments written
+    bytes_written: int = 0
+    #: pre-compaction bytes of the merged generations minus bytes_written
+    bytes_reclaimed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.skipped
 
 
 @dataclass
@@ -168,14 +225,36 @@ class StoreCatalog:
         #: cap on resident (mapped) segment bytes; None means unbounded,
         #: which preserves the pre-LRU behaviour of earlier releases
         self.memory_budget_bytes = memory_budget_bytes
-        self._entries: dict[tuple[str, StorageStrategy], CatalogEntry] = {
-            entry.key: entry for entry in entries
-        }
+        #: per (node, strategy): the live generations, oldest (lowest gen)
+        #: first — a never-appended key holds exactly one gen-0 entry
+        self._entries: dict[
+            tuple[str, StorageStrategy], tuple[CatalogEntry, ...]
+        ] = {}
+        for entry in entries:
+            self._entries[entry.key] = tuple(
+                sorted(
+                    self._entries.get(entry.key, ()) + (entry,),
+                    key=lambda e: e.gen,
+                )
+            )
         self._lock = threading.RLock()
+        #: serializes the *mutating* maintenance paths (append_stores,
+        #: compact) against each other — two concurrent appends must never
+        #: race the generation-ordinal choice (a duplicate ordinal would
+        #: brick the manifest), and a compact never interleaves with an
+        #: append's flush.  Readers are untouched: borrows only take
+        #: ``_lock`` for cache bookkeeping.
+        self._maintenance_lock = threading.Lock()
         #: LRU cache of open stores, most-recently-used last
         self._open: "OrderedDict[tuple[str, StorageStrategy], _OpenStore]" = OrderedDict()
         #: records evicted while pinned: out of the cache, not yet closed
         self._lingering: list[_OpenStore] = []
+        #: files superseded by a compaction while readers still held the old
+        #: generation set: ``(records still serving them, paths)`` — the
+        #: paths are unlinked when the *last* of those records closes (pins
+        #: delay unlink; a reader must never lose a file it may still map,
+        #: lazily or otherwise)
+        self._deferred_unlink: list[tuple[list, list[str]]] = []
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -197,7 +276,11 @@ class StoreCatalog:
         ``stores`` is anything with ``.items()`` yielding
         ``((node, strategy), store)`` pairs — a plain dict, or a lazy view
         like the runtime's one-at-a-time borrowing flush, which keeps only
-        the store currently being written pinned in memory."""
+        the store currently being written pinned in memory.
+
+        A full write collapses generations: flushing an
+        :class:`~repro.core.overlay.OverlayStore` writes the merged segment,
+        and any stale delta files of the written stores are removed."""
         os.makedirs(directory, exist_ok=True)
         entries: list[CatalogEntry] = []
         total = 0
@@ -224,6 +307,10 @@ class StoreCatalog:
                     shards=shards,
                 )
             )
+            # a full flush supersedes every delta generation of this store
+            for gen, _ in sorted(seglib.generation_files(path).items()):
+                if gen != 0:
+                    seglib.remove_segment(seglib.generation_path(path, gen))
         catalog = cls(directory, entries, memory_budget_bytes=memory_budget_bytes)
         total += catalog.save_manifest()
         return catalog, total
@@ -238,19 +325,24 @@ class StoreCatalog:
         would brick :meth:`open`."""
         with self._lock:
             stores = []
-            for entry in self._entries.values():
-                obj = {
-                    "node": entry.node,
-                    "strategy": _strategy_to_json(entry.strategy),
-                    "out_shape": list(entry.out_shape),
-                    "in_shapes": [list(s) for s in entry.in_shapes],
-                    "file": entry.file,
-                    "nbytes": entry.nbytes,
-                    "lowered": entry.lowered,
-                }
-                if entry.shards:
-                    obj["shards"] = list(entry.shards)
-                stores.append(obj)
+            for generations in self._entries.values():
+                for entry in generations:
+                    obj = {
+                        "node": entry.node,
+                        "strategy": _strategy_to_json(entry.strategy),
+                        "out_shape": list(entry.out_shape),
+                        "in_shapes": [list(s) for s in entry.in_shapes],
+                        "file": entry.file,
+                        "nbytes": entry.nbytes,
+                        "lowered": entry.lowered,
+                    }
+                    if entry.shards:
+                        obj["shards"] = list(entry.shards)
+                    if entry.gen:
+                        # gen 0 stays implicit so a never-appended manifest is
+                        # byte-compatible with the pre-generation schema
+                        obj["gen"] = entry.gen
+                    stores.append(obj)
         manifest = {"format": FORMAT, "version": VERSION, "stores": stores}
         path = os.path.join(self.directory, MANIFEST_NAME)
         tmp = path + ".tmp"
@@ -266,6 +358,302 @@ class StoreCatalog:
             raise
         os.replace(tmp, path)
         return os.path.getsize(path)
+
+    # -- appending (incremental delta generations) -----------------------------
+
+    @classmethod
+    def append(
+        cls,
+        directory: str,
+        stores,
+        shard_threshold_bytes: int | None = None,
+        memory_budget_bytes: int | None = None,
+    ) -> tuple["StoreCatalog", int]:
+        """Append ``stores`` to the catalog at ``directory`` as delta
+        generations — the cheap incremental commit: only the deltas and the
+        manifest are written, committed segments are never rewritten.
+        Creates the catalog when the directory holds none (the append then
+        degenerates to a first full flush).  Returns
+        ``(catalog, total_bytes_written)``."""
+        if os.path.exists(os.path.join(directory, MANIFEST_NAME)):
+            catalog = cls.open(directory, memory_budget_bytes=memory_budget_bytes)
+        else:
+            os.makedirs(directory, exist_ok=True)
+            catalog = cls(directory, [], memory_budget_bytes=memory_budget_bytes)
+        total = catalog.append_stores(
+            stores, shard_threshold_bytes=shard_threshold_bytes
+        )
+        return catalog, total
+
+    def append_stores(self, stores, shard_threshold_bytes: int | None = None) -> int:
+        """Write each store as the next delta generation of its key and
+        re-register the manifest; returns bytes written.
+
+        Per store: a key the catalog already records gains generation
+        ``max(gen) + 1`` (skipping ordinals whose files a crash left on
+        disk); an unknown key is written as its generation-0 base segment.
+        Empty stores are skipped — an empty delta would add a probe pass of
+        read amplification and no lineage.  A delta's array shapes must
+        match the committed generations (a reshape needs a full re-flush).
+
+        Open records of appended keys are retired, so the next borrow sees
+        the new generation set; sessions pinned on the old set keep serving
+        it until they release (the committed files are untouched).
+        Concurrent appends (and compactions) are serialized, so two racing
+        appends can never claim the same generation ordinal.
+        """
+        with self._maintenance_lock:
+            return self._append_stores_locked(stores, shard_threshold_bytes)
+
+    def _append_stores_locked(self, stores, shard_threshold_bytes: int | None) -> int:
+        # validate every delta's shapes BEFORE writing anything, so a
+        # mixed-validity batch fails whole: no store of the batch is
+        # committed, and the manifest never lags a segment already written
+        pending = []
+        for (node, strategy), store in stores.items():
+            if store.n_entries == 0:
+                continue
+            with self._lock:
+                existing = self._entries.get((node, strategy), ())
+            if existing:
+                base = existing[0]
+                if (
+                    store.out_shape != base.out_shape
+                    or store.in_shapes != base.in_shapes
+                ):
+                    raise StorageError(
+                        f"cannot append store ({node!r}, {strategy.label}): "
+                        f"delta shapes out={store.out_shape} do not match the "
+                        f"committed generations (out={base.out_shape}); "
+                        "re-flush the catalog in full instead"
+                    )
+            pending.append(((node, strategy), store))
+        total = 0
+        appended = False
+        try:
+            for key, store in pending:
+                total += self._append_one_locked(key, store, shard_threshold_bytes)
+                appended = True
+        finally:
+            # persist whatever WAS committed even when a later store's write
+            # fails: the live entry map and catalog.json must not diverge
+            if appended:
+                total += self.save_manifest()
+        return total
+
+    def _append_one_locked(
+        self,
+        key: tuple[str, StorageStrategy],
+        store,
+        shard_threshold_bytes: int | None,
+    ) -> int:
+        node, strategy = key
+        with self._lock:
+            existing = self._entries.get(key, ())
+        base_path = os.path.join(self.directory, store_filename(node, strategy))
+        if existing:
+            on_disk = seglib.generation_files(base_path)
+            gen = max(e.gen for e in existing) + 1
+            while gen in on_disk:  # stale files from an interrupted run
+                gen += 1
+        else:
+            gen = 0
+        path = seglib.generation_path(base_path, gen)
+        nbytes = store.flush_segment(
+            path, shard_threshold_bytes=shard_threshold_bytes
+        )
+        files = seglib.segment_files(path)
+        shards = (
+            tuple(os.path.basename(f) for f in files)
+            if files != [path]
+            else ()
+        )
+        entry = CatalogEntry(
+            node=node,
+            strategy=strategy,
+            out_shape=store.out_shape,
+            in_shapes=store.in_shapes,
+            file=os.path.basename(path),
+            nbytes=nbytes,
+            lowered=store.lowered_ready(),
+            shards=shards,
+            gen=gen,
+        )
+        with self._lock:
+            merged = self._entries.get(key, ()) + (entry,)
+            self._entries[key] = tuple(sorted(merged, key=lambda e: e.gen))
+            record = self._open.pop(key, None)
+            if record is not None:
+                self._retire(record)
+        return nbytes
+
+    # -- compaction -------------------------------------------------------------
+
+    def compact(
+        self,
+        node: str | None = None,
+        strategy: StorageStrategy | None = None,
+        budget_bytes: int | None = None,
+        shard_threshold_bytes: int | None = None,
+    ) -> CompactionReport:
+        """Merge delta generations back into one base segment per key,
+        online: concurrent sessions keep serving throughout.
+
+        ``node`` / ``strategy`` restrict the sweep to one store (or one
+        node's stores); by default every multi-generation key is compacted,
+        worst read amplification (most generations) first.  ``budget_bytes``
+        caps the bytes *read and rewritten* in this call — keys that would
+        exceed it are reported in :attr:`CompactionReport.skipped` for a
+        later pass, but the first candidate always runs, so a small budget
+        still makes progress.
+
+        Per key the sequence is crash-safe and reader-safe: the merged
+        segment is written to a tmp file and atomically renamed over the
+        generation-0 path (pinned readers of the old base keep their inode,
+        and the old base's superseded shard files are *not* touched yet);
+        the in-memory entry set and then the manifest are swapped (a crash
+        before the manifest swap leaves the old manifest pointing at the
+        merged base plus the deltas — an overlay of a superset, still
+        correct); finally the superseded files — delta generations and the
+        old base's stale shards — are unlinked, deferred until the last pin
+        drops when the key is currently borrowed.  Mutating maintenance
+        (appends, other compactions) is serialized with this call; readers
+        are not blocked.
+
+        Caveat: the full compact-while-serving guarantee holds for the
+        default *monolithic* merge.  Passing ``shard_threshold_bytes``
+        re-shards the base **in place** (new shard files rename over old
+        ordinals); a reader pinned on the old sharded base that lazily maps
+        a replaced shard then fails *loudly* (the per-flush shard token
+        refuses mixed generations) rather than serving the old set.  Prefer
+        monolithic compaction while serving; re-shard in a maintenance
+        window or with a full re-flush.
+        """
+        with self._maintenance_lock:
+            return self._compact_locked(node, strategy, budget_bytes, shard_threshold_bytes)
+
+    def _compact_locked(
+        self,
+        node: str | None,
+        strategy: StorageStrategy | None,
+        budget_bytes: int | None,
+        shard_threshold_bytes: int | None,
+    ) -> CompactionReport:
+        with self._lock:
+            candidates = [
+                (key, generations)
+                for key, generations in self._entries.items()
+                if len(generations) > 1
+                and (node is None or key[0] == node)
+                and (strategy is None or key[1] == strategy)
+            ]
+        candidates.sort(key=lambda kv: (-len(kv[1]), kv[0][0]))
+        report = CompactionReport()
+        spent = 0
+        for key, generations in candidates:
+            size = sum(e.nbytes for e in generations)
+            if (
+                budget_bytes is not None
+                and report.compacted
+                and spent + size > budget_bytes
+            ):
+                report.skipped.append(key)
+                continue
+            written = self._compact_key(key, generations, shard_threshold_bytes)
+            spent += size
+            report.compacted.append((key[0], key[1], len(generations)))
+            report.bytes_written += written
+            report.bytes_reclaimed += size - written
+        return report
+
+    def _compact_key(
+        self,
+        key: tuple[str, StorageStrategy],
+        generations: tuple[CatalogEntry, ...],
+        shard_threshold_bytes: int | None,
+    ) -> int:
+        node, strategy = key
+        base = generations[0]
+        stores: list[OpLineageStore] = []
+        try:
+            # open the generations directly (not through the serving cache):
+            # compaction reads stay off the serving path and never perturb
+            # the LRU or its pin accounting
+            for entry in generations:
+                store = make_store(node, strategy, entry.out_shape, entry.in_shapes)
+                store.load_segment(os.path.join(self.directory, entry.file))
+                stores.append(store)
+            # the merge itself is the overlay's: one absorb per generation,
+            # oldest first, finalized once
+            merged = OverlayStore(stores).merged_store()
+            base_path = os.path.join(self.directory, store_filename(node, strategy))
+            # superseded base files (e.g. the old sharded base's .0..k when
+            # the merge writes a monolith) are *reported*, not removed —
+            # a pinned reader may not have mapped them yet, and the old
+            # manifest still references them until the swap below
+            base_stale: list[str] = []
+            try:
+                nbytes = merged.flush_segment(
+                    base_path,
+                    shard_threshold_bytes=shard_threshold_bytes,
+                    stale_sink=base_stale,
+                )
+            except OSError as exc:
+                # e.g. Windows refusing to rename over a base segment a
+                # pinned reader still maps; nothing was swapped — the old
+                # generation set keeps serving, retry after pins drop
+                raise StorageError(
+                    f"compaction of ({node!r}, {strategy.label}) could not "
+                    f"replace {base_path!r} (still mapped by a reader?): "
+                    f"{exc}"
+                ) from exc
+        finally:
+            for store in stores:
+                store.close()
+        files = seglib.segment_files(base_path)
+        shards = (
+            tuple(os.path.basename(f) for f in files)
+            if files != [base_path]
+            else ()
+        )
+        new_entry = CatalogEntry(
+            node=node,
+            strategy=strategy,
+            out_shape=base.out_shape,
+            in_shapes=base.in_shapes,
+            file=store_filename(node, strategy),
+            nbytes=nbytes,
+            lowered=merged.lowered_ready(),
+            shards=shards,
+            gen=0,
+        )
+        stale = [
+            os.path.join(self.directory, e.file) for e in generations if e.gen != 0
+        ] + base_stale
+        merged_gens = {e.gen for e in generations}
+        with self._lock:
+            # generations appended while we merged survive as deltas over
+            # the new base; the ones we merged are replaced by it
+            survivors = tuple(
+                e for e in self._entries.get(key, ()) if e.gen not in merged_gens
+            )
+            self._entries[key] = tuple(
+                sorted((new_entry,) + survivors, key=lambda e: e.gen)
+            )
+            record = self._open.pop(key, None)
+            # every record still serving the OLD generation set: the one we
+            # just popped, plus any evicted-while-pinned stragglers
+            holders = [r for r in self._lingering if r.key == key]
+            if record is not None:
+                holders.append(record)
+        self.save_manifest()
+        with self._lock:
+            if record is not None:
+                self._retire(record)  # closes now unless a session pins it
+            # readers of the old set keep their files until the last one
+            # closes; with no live holder this unlinks immediately
+            self._defer_unlink_locked(holders, stale)
+        return nbytes
 
     # -- opening -------------------------------------------------------------
 
@@ -302,30 +690,71 @@ class StoreCatalog:
                         nbytes=int(obj["nbytes"]),
                         lowered=bool(obj.get("lowered", False)),
                         shards=tuple(obj.get("shards", ())),
+                        gen=int(obj.get("gen", 0)),
                     )
                 )
         except (KeyError, TypeError, ValueError) as exc:
             raise StorageError(f"corrupt lineage catalog {path!r}: {exc}") from exc
+        seen = set()
+        for entry in entries:
+            if (entry.key, entry.gen) in seen:
+                raise StorageError(
+                    f"corrupt lineage catalog {path!r}: store "
+                    f"({entry.node!r}, {entry.strategy.label}) lists "
+                    f"generation {entry.gen} twice"
+                )
+            seen.add((entry.key, entry.gen))
         return cls(directory, entries, memory_budget_bytes=memory_budget_bytes)
 
     # -- manifest-level accessors --------------------------------------------
 
     def __len__(self) -> int:
+        """Number of stores (keys) — generations do not inflate the count."""
         return len(self._entries)
 
     def keys(self) -> list[tuple[str, StorageStrategy]]:
         return list(self._entries)
 
     def entries(self) -> list[CatalogEntry]:
-        return list(self._entries.values())
+        """Every live entry, one per *generation* (recovery verifies each)."""
+        return [e for generations in self._entries.values() for e in generations]
 
     def entry(self, node: str, strategy: StorageStrategy) -> CatalogEntry | None:
-        return self._entries.get((node, strategy))
+        """The base (oldest live) generation of the key; None when absent."""
+        generations = self._entries.get((node, strategy))
+        return generations[0] if generations else None
+
+    def generations_for(
+        self, node: str, strategy: StorageStrategy
+    ) -> tuple[CatalogEntry, ...]:
+        """Every live generation of the key, oldest first."""
+        return self._entries.get((node, strategy), ())
+
+    def generation_count(self, node: str, strategy: StorageStrategy) -> int:
+        """How many live generations serve the key (1 = compacted/base)."""
+        return len(self._entries.get((node, strategy), ()))
 
     def drop(self, node: str, strategy: StorageStrategy) -> None:
-        """Forget one entry (used when recovery quarantines its segment)."""
+        """Forget a key — all generations (legacy whole-store quarantine)."""
         with self._lock:
             self._entries.pop((node, strategy), None)
+            record = self._open.pop((node, strategy), None)
+            if record is not None:
+                self._retire(record)
+
+    def drop_generation(self, node: str, strategy: StorageStrategy, gen: int) -> None:
+        """Forget one generation of a key, keeping the others serving (used
+        when recovery quarantines a torn delta segment).  Any open record is
+        retired so the next borrow rebuilds the overlay without it."""
+        with self._lock:
+            generations = self._entries.get((node, strategy), ())
+            kept = tuple(e for e in generations if e.gen != gen)
+            if len(kept) == len(generations):
+                return
+            if kept:
+                self._entries[(node, strategy)] = kept
+            else:
+                self._entries.pop((node, strategy), None)
             record = self._open.pop((node, strategy), None)
             if record is not None:
                 self._retire(record)
@@ -334,12 +763,14 @@ class StoreCatalog:
         return tuple(s for (n, s) in self._entries if n == node)
 
     def manifest_bytes(self, node: str, strategy: StorageStrategy) -> int:
-        entry = self._entries.get((node, strategy))
-        return entry.nbytes if entry is not None else 0
+        """Total on-disk bytes of the key, summed across generations."""
+        return sum(e.nbytes for e in self._entries.get((node, strategy), ()))
 
     def lowered_ready(self, node: str, strategy: StorageStrategy) -> bool:
-        entry = self._entries.get((node, strategy))
-        return bool(entry is not None and entry.lowered)
+        """True only when *every* generation persisted its lowered tables —
+        an overlay scan is warm iff each generation's pass is."""
+        generations = self._entries.get((node, strategy), ())
+        return bool(generations) and all(e.lowered for e in generations)
 
     # -- serving: borrow / release (the pinned path) --------------------------
 
@@ -359,7 +790,7 @@ class StoreCatalog:
         wait on the record's ready event and share the single mapping.
         """
         key = (node, strategy)
-        load_entry = None
+        load_entries = None
         with self._lock:
             record = self._open.get(key)
             if record is not None:
@@ -367,19 +798,21 @@ class StoreCatalog:
                 record.pins += 1
                 self._hits += 1
             else:
-                entry = self._entries.get(key)
-                if entry is None:
+                generations = self._entries.get(key)
+                if not generations:
                     return None
                 self._misses += 1
-                record = _OpenStore(key=key, store=None, nbytes=entry.nbytes, pins=1)
-                self._open[key] = record
-                load_entry = entry  # this thread inserted the placeholder
-        if load_entry is not None:  # ...so this thread performs the open
-            try:
-                store = make_store(
-                    node, strategy, load_entry.out_shape, load_entry.in_shapes
+                record = _OpenStore(
+                    key=key,
+                    store=None,
+                    nbytes=sum(e.nbytes for e in generations),
+                    pins=1,
                 )
-                store.load_segment(os.path.join(self.directory, load_entry.file))
+                self._open[key] = record
+                load_entries = generations  # this thread inserted the placeholder
+        if load_entries is not None:  # ...so this thread performs the open
+            try:
+                store = self._open_generations(node, strategy, load_entries)
             except BaseException as exc:
                 with self._lock:
                     record.error = exc
@@ -403,6 +836,28 @@ class StoreCatalog:
                 f"store ({node!r}, {strategy.label}) failed to open"
             ) from record.error
         return record
+
+    def _open_generations(
+        self,
+        node: str,
+        strategy: StorageStrategy,
+        generations: tuple[CatalogEntry, ...],
+    ) -> OpLineageStore:
+        """Open every live generation of a key; a single generation comes
+        back as the plain store, several as the overlay union view."""
+        stores: list[OpLineageStore] = []
+        try:
+            for entry in generations:
+                store = make_store(node, strategy, entry.out_shape, entry.in_shapes)
+                store.load_segment(os.path.join(self.directory, entry.file))
+                stores.append(store)
+        except BaseException:
+            for store in stores:
+                store.close()
+            raise
+        if len(stores) == 1:
+            return stores[0]
+        return OverlayStore(stores)
 
     def release(self, record: _OpenStore) -> None:
         """Drop one pin; a record evicted while pinned closes on the last
@@ -483,6 +938,29 @@ class StoreCatalog:
             record.closed = True
             if record.store is not None:
                 record.store.close()
+        # release any compaction-superseded files that were waiting on this
+        # record; they unlink when their last holder closes
+        if self._deferred_unlink:
+            remaining: list[tuple[list, list[str]]] = []
+            for holders, files in self._deferred_unlink:
+                holders = [r for r in holders if r is not record and not r.closed]
+                if holders:
+                    remaining.append((holders, files))
+                else:
+                    for path in files:
+                        seglib.remove_segment(path)
+            self._deferred_unlink = remaining
+
+    def _defer_unlink_locked(self, holders: list, files: list[str]) -> None:
+        """Unlink ``files`` now, or once the last of ``holders`` closes."""
+        holders = [r for r in holders if not r.closed]
+        if not files:
+            return
+        if holders:
+            self._deferred_unlink.append((holders, list(files)))
+        else:
+            for path in files:
+                seglib.remove_segment(path)
 
     def _retire(self, record: _OpenStore) -> None:
         """Close (or defer-close) a record leaving the cache outside the

@@ -58,6 +58,12 @@ class CostConstants:
     # whose segment was evicted competes against re-execution honestly.
     segment_open_s: float = 3.0e-4  # per segment (re)open under the cache
     reopen_byte_s: float = 2.0e-10  # per manifest byte paged back in
+    # overlay read amplification: a store split across g generations answers
+    # every read by consulting all g of them — one extra index probe pass /
+    # batch-scan pass / payload-column stitch per extra generation.  This
+    # per-generation surcharge is what lets the optimizer see un-compacted
+    # appends and recommend compaction (overlay_penalty_seconds).
+    gen_overlay_s: float = 2.5e-4  # per extra live generation consulted
 
     @classmethod
     def calibrate(cls, n: int = 50_000, seed: int = 0) -> "CostConstants":
@@ -238,6 +244,7 @@ class CostModel:
         n_query_cells: int,
         lowered_ready: bool = False,
         reopen_bytes: int = 0,
+        generations: int = 1,
     ) -> float:
         """Estimated cost of one query step over ``n_query_cells``.
 
@@ -251,6 +258,13 @@ class CostModel:
         only because the serving cache evicted it (or never opened it).
         The surcharge makes the optimizer see the memory budget: a cheap
         probe against an evicted giant store may lose to re-execution.
+
+        ``generations`` is how many live catalog generations the access
+        would overlay (``runtime.generation_count``); every extra
+        generation adds a probe/scan pass
+        (:meth:`overlay_penalty_seconds`), so the optimizer sees
+        un-compacted appends — and a strategy whose overlay grew expensive
+        loses honestly to alternatives until a compaction runs.
         """
         s = self.stats.get(node)
         k = self.k
@@ -267,7 +281,12 @@ class CostModel:
             self._observation_key(strategy, direction_backward)
         )
         if measured is not None:
+            # observations were taken against the live overlay, so the
+            # amplification is already folded into the EMA
             return measured + reopen
+        overlay = self.overlay_penalty_seconds(
+            node, strategy, direction_backward, n, generations
+        )
         entries = self._entries(s, strategy)
         probe = (
             k.hash_probe_s
@@ -277,7 +296,7 @@ class CostModel:
         if strategy.mode is LineageMode.FULL:
             matched = (strategy.orientation is Orientation.BACKWARD) == direction_backward
             if matched:
-                return reopen + n * probe + n * fanin * k.decode_cell_s
+                return reopen + overlay + n * probe + n * fanin * k.decode_cell_s
             # mismatched orientation: the batch-scan engine answers every
             # entry in a few vectorised passes, so the per-entry constant is
             # far below the per-entry cursor cost.  The decode term prices
@@ -285,18 +304,54 @@ class CostModel:
             # lowered tables are already warm (cached, or served straight
             # from a segment's persisted tables).
             if lowered_ready:
-                return reopen + entries * k.batch_entry_s
-            return reopen + entries * (k.batch_entry_s + k.decode_cell_s)
+                return reopen + overlay + entries * k.batch_entry_s
+            return reopen + overlay + entries * (k.batch_entry_s + k.decode_cell_s)
         # payload / composite strategies are always backward-optimized
         if direction_backward:
-            cost = reopen + n * probe + n * k.payload_apply_s
+            cost = reopen + overlay + n * probe + n * k.payload_apply_s
             if strategy.mode is LineageMode.COMP:
                 cost += n * k.map_cell_s
             return cost
-        cost = reopen + entries * (k.scan_entry_s + k.payload_apply_s / 8.0)
+        cost = reopen + overlay + entries * (k.scan_entry_s + k.payload_apply_s / 8.0)
         if strategy.mode is LineageMode.COMP:
             cost += n * k.map_cell_s
         return cost
+
+    def overlay_penalty_seconds(
+        self,
+        node: str,
+        strategy: StorageStrategy,
+        direction_backward: bool,
+        n_query_cells: int,
+        generations: int,
+    ) -> float:
+        """Read-amplification surcharge of serving ``generations`` live
+        generations instead of one compacted segment.
+
+        Matched accesses repeat their per-cell index probe once per extra
+        generation; every access additionally pays one fixed per-generation
+        pass (``gen_overlay_s``: an extra batch-scan/lowered-table pass, or
+        the payload-column stitch).  This is also the *estimated saving per
+        query* a compaction buys, which is how ``SubZero.compaction_advice``
+        ranks candidates."""
+        if generations <= 1 or not strategy.stores_pairs:
+            return 0.0
+        k = self.k
+        extra = generations - 1
+        penalty = extra * k.gen_overlay_s
+        n = max(1, int(n_query_cells))
+        probe = (
+            k.hash_probe_s
+            if strategy.encoding is EncodingKind.ONE
+            else k.rtree_probe_s
+        )
+        matched = (
+            strategy.mode in (LineageMode.PAY, LineageMode.COMP)
+            or (strategy.orientation is Orientation.BACKWARD)
+        ) == direction_backward
+        if matched:
+            penalty += extra * n * probe
+        return penalty
 
     @staticmethod
     def _observation_key(strategy: StorageStrategy, direction_backward: bool) -> str:

@@ -164,6 +164,28 @@ class RegionEntryTable:
         self._vlen_chunks.append(val_lengths)
         self._dirty = True
 
+    def extend_columns(
+        self,
+        keys: np.ndarray,
+        koff: np.ndarray,
+        vbuf,
+        voff: np.ndarray,
+    ) -> None:
+        """Bulk-append another table's finalized columns (the generational
+        merge writer): entry boundaries are preserved, and the next
+        :meth:`finalize` re-sorts boxes/R-tree over the merged entry set.
+        The inputs are copied, so the merge outlives the source table's
+        backing segment."""
+        koff = np.asarray(koff, dtype=np.int64)
+        n = koff.size - 1
+        if n <= 0:
+            return
+        self._key_chunks.append(np.array(keys, dtype=np.int64))
+        self._klen_chunks.append(np.diff(koff))
+        self._val_chunks.append(bytes(vbuf))
+        self._vlen_chunks.append(np.diff(np.asarray(voff, dtype=np.int64)))
+        self._dirty = True
+
     # -- finalize -----------------------------------------------------------------
 
     def finalize(self) -> None:
@@ -595,7 +617,12 @@ class OpLineageStore:
         lowered tables — no codec header walk left to pay."""
         return True
 
-    def flush_segment(self, path: str, shard_threshold_bytes: int | None = None) -> int:
+    def flush_segment(
+        self,
+        path: str,
+        shard_threshold_bytes: int | None = None,
+        stale_sink: list | None = None,
+    ) -> int:
         """Persist the whole store — every component plus the lowered
         batch-probe tables — and return bytes written.
 
@@ -603,7 +630,12 @@ class OpLineageStore:
         is given and the payload exceeds it, the store is split into
         ``path.0 .. path.k`` shard files instead (each a complete segment;
         see :meth:`~repro.storage.segment.SegmentWriter.write_sharded`), so
-        a later reader maps only the shards its query touches."""
+        a later reader maps only the shards its query touches.
+
+        ``stale_sink`` defers removal of the previous flush's superseded
+        (non-shadowing) files: their paths are appended there instead of
+        unlinked, which is how online compaction keeps a pinned reader's
+        lazily-mapped shards alive until its last release."""
         self.finalize_if_possible()
         self.warm_lowered_tables()
         writer = seglib.SegmentWriter()
@@ -618,9 +650,11 @@ class OpLineageStore:
         for name, component in self._components().items():
             component.dump(writer, prefix=f"{name}.")
         if shard_threshold_bytes is not None:
-            nbytes, _ = writer.write_sharded(path, shard_threshold_bytes)
+            nbytes, _ = writer.write_sharded(
+                path, shard_threshold_bytes, stale_sink=stale_sink
+            )
             return nbytes
-        return writer.write(path)
+        return writer.write(path, stale_sink=stale_sink)
 
     def load_segment(self, source) -> None:
         """Replace every component with its counterpart in ``source`` (a
@@ -715,6 +749,33 @@ class OpLineageStore:
                 self._set_component(
                     name, RegionEntryTable.load(path, component.key_shape)
                 )
+
+    # -- generational merge (compaction writer) -------------------------------
+
+    def _check_absorb(self, other: "OpLineageStore") -> None:
+        if (
+            other.strategy != self.strategy
+            or other.out_shape != self.out_shape
+            or other.in_shapes != self.in_shapes
+        ):
+            raise StorageError(
+                f"cannot merge store ({other.node!r}, {other.strategy.label}, "
+                f"out={other.out_shape}) into ({self.node!r}, "
+                f"{self.strategy.label}, out={self.out_shape}): layouts differ"
+            )
+
+    def absorb(self, other: "OpLineageStore") -> None:
+        """Merge every entry of ``other`` (same layout and shapes) into this
+        store — the compaction merge writer.
+
+        Works at the component level: hash segments and entry tables
+        concatenate (the multimap/entry-set contracts make union exactly
+        concatenation), blob heaps append with the id base returned by
+        :meth:`~repro.storage.kvstore.BlobStore.extend_from` re-basing the
+        refs that point into them.  All absorbed bytes are copied, so the
+        merged store stays valid after the generations' segments close.
+        Overridden per layout."""
+        raise LineageError(f"{self.strategy.label} store cannot absorb generations")
 
     # -- matched-orientation reads -------------------------------------------
 
@@ -827,6 +888,15 @@ class _FullBackwardOne(OpLineageStore):
             out_packed = C.pack_coords(pair.outcells, self.out_shape)
             self._refs.put_many_fixed(out_packed, np.full(out_packed.size, ref))
 
+    def absorb(self, other: "OpLineageStore") -> None:
+        self._check_absorb(other)
+        for i in range(self.arity):
+            self._direct[i].extend_from(other._direct[i])
+        base = self._blobs.extend_from(other._blobs)
+        keys, refs = other._refs.items_fixed()
+        if keys.size:
+            self._refs.put_many_fixed(keys, refs + base)
+
     def backward_full(self, qpacked, only_input=None):
         matched = np.zeros(qpacked.size, dtype=bool)
         per_input: list[list[np.ndarray]] = [[] for _ in range(self.arity)]
@@ -924,6 +994,10 @@ class _FullBackwardMany(OpLineageStore):
             )
             self._table.add_entry(C.pack_coords(pair.outcells, self.out_shape), value)
 
+    def absorb(self, other: "OpLineageStore") -> None:
+        self._check_absorb(other)
+        self._table.extend_columns(*other._table.columns())
+
     def backward_full(self, qpacked, only_input=None):
         query_sorted = np.sort(qpacked)
         coords = C.unpack_coords(qpacked, self.out_shape)
@@ -1004,6 +1078,15 @@ class _FullForwardOne(OpLineageStore):
             for i, cells in enumerate(pair.incells):
                 in_packed = C.pack_coords(cells, self.in_shapes[i])
                 self._refs[i].put_many_fixed(in_packed, np.full(in_packed.size, ref))
+
+    def absorb(self, other: "OpLineageStore") -> None:
+        self._check_absorb(other)
+        base = self._blobs.extend_from(other._blobs)
+        for i in range(self.arity):
+            self._direct[i].extend_from(other._direct[i])
+            keys, refs = other._refs[i].items_fixed()
+            if keys.size:
+                self._refs[i].put_many_fixed(keys, refs + base)
 
     def forward_full(self, qpacked, input_idx):
         parts: list[np.ndarray] = []
@@ -1100,6 +1183,11 @@ class _FullForwardMany(OpLineageStore):
                     C.pack_coords(cells, self.in_shapes[i]), value
                 )
 
+    def absorb(self, other: "OpLineageStore") -> None:
+        self._check_absorb(other)
+        for i, table in enumerate(self._tables):
+            table.extend_columns(*other._tables[i].columns())
+
     def forward_full(self, qpacked, input_idx):
         table = self._tables[input_idx]
         coords = C.unpack_coords(qpacked, self.in_shapes[input_idx])
@@ -1181,6 +1269,10 @@ class _PayBackwardOne(OpLineageStore):
             out_packed = C.pack_coords(pair.outcells, self.out_shape)
             self._hash.put_many_shared(out_packed, pair.payload)
 
+    def absorb(self, other: "OpLineageStore") -> None:
+        self._check_absorb(other)
+        self._hash.extend_from(other._hash)
+
     def backward_payload(self, qpacked):
         matched = np.zeros(qpacked.size, dtype=bool)
         qidx, values = self._hash.lookup_many(qpacked)
@@ -1252,6 +1344,10 @@ class _PayBackwardMany(OpLineageStore):
             self._table.add_entry(
                 C.pack_coords(pair.outcells, self.out_shape), pair.payload
             )
+
+    def absorb(self, other: "OpLineageStore") -> None:
+        self._check_absorb(other)
+        self._table.extend_columns(*other._table.columns())
 
     def backward_payload(self, qpacked):
         query_sorted = np.sort(qpacked)

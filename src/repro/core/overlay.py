@@ -1,0 +1,263 @@
+"""Read overlay over the live generations of one lineage store.
+
+An incremental flush (``flush_lineage(append=True)``) leaves a store split
+across *generations*: the base segment plus one delta segment per appended
+run (``<name>.gen.<g>.seg``, see :mod:`repro.storage.segment`).  Until a
+compaction merges them, queries must see the union — lineage accumulates,
+it is never overwritten — and :class:`OverlayStore` is that union view:
+it holds every generation's :class:`~repro.core.lineage_store.OpLineageStore`
+(oldest first) and answers the whole read API by consulting all of them,
+newest first, merging per-cell verdicts with OR and cell sets by
+concatenation.
+
+Design points:
+
+* **Each generation keeps its own indexes.**  Matched probes run one hash
+  lookup / R-tree descent per generation; mismatched scans run each
+  generation's vectorised :class:`~repro.storage.codecs.BatchProbe` pass
+  over that generation's (persisted) lowered tables.  Nothing is rebuilt
+  at open time — that is what makes appends cheap — but every extra
+  generation adds a probe pass, which is the *read amplification* the cost
+  model prices (:meth:`~repro.core.costmodel.CostModel.overlay_penalty_seconds`)
+  and :meth:`~repro.core.catalog.StoreCatalog.compact` removes.
+* **Payload scans pay the amplification most visibly**: the executor's
+  columnar forward scan wants one ``(keys, koff, vbuf, voff)`` surface, so
+  the overlay concatenates the generations' columns on first use (cached —
+  generations are immutable once opened).
+* The overlay is read-only: ingest/absorb go to the concrete layouts.  A
+  full (non-append) re-flush of an overlay collapses it — the segment it
+  writes is the compacted merge.
+
+Query answers over an overlay are *set-identical* to the same lineage in
+one store: every public read returns packed cell sets (or per-cell
+verdicts) that the executor deduplicates, so concatenation across
+generations is exact, even when generations overlap.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.core.lineage_store import OpLineageStore, _concat, make_store
+
+__all__ = ["OverlayStore"]
+
+
+class _OverlaySegments:
+    """Accounting/lifecycle shim standing in for a single segment handle.
+
+    The serving cache charges an open store by ``store._segment``'s mapped
+    bytes; an overlay's footprint is the sum of its generations' mappings
+    (each of which may itself be a lazily-mapped sharded segment).
+    """
+
+    __slots__ = ("_stores",)
+
+    def __init__(self, stores: list[OpLineageStore]):
+        self._stores = stores
+
+    def mapped_bytes(self) -> int:
+        total = 0
+        for store in self._stores:
+            seg = store._segment
+            if seg is None:
+                continue
+            mapped = getattr(seg, "mapped_bytes", None)
+            total += mapped() if mapped is not None else seg.nbytes
+        return total
+
+
+class OverlayStore(OpLineageStore):
+    """Union view over one store's generations (see module docstring)."""
+
+    def __init__(self, stores: list[OpLineageStore]):
+        if not stores:
+            raise ValueError("an overlay needs at least one generation")
+        first = stores[0]
+        super().__init__(first.node, first.strategy, first.out_shape, first.in_shapes)
+        for other in stores[1:]:
+            self._check_absorb(other)
+        #: the generations, oldest first (reads iterate newest first)
+        self._gens: list[OpLineageStore] = list(stores)
+        self._segment = _OverlaySegments(self._gens)
+        #: cached concatenation of the generations' payload columns
+        self._merged_payload: tuple | None = None
+        self._plock = threading.Lock()
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def generations(self) -> int:
+        return len(self._gens)
+
+    def generation_stores(self) -> list[OpLineageStore]:
+        return list(self._gens)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        self._segment = None
+        self._merged_payload = None
+        for store in self._gens:
+            store.close()
+
+    def finalize_if_possible(self) -> None:
+        for store in self._gens:
+            store.finalize_if_possible()
+
+    def warm_lowered_tables(self) -> None:
+        for store in self._gens:
+            store.warm_lowered_tables()
+
+    def lowered_ready(self) -> bool:
+        return all(store.lowered_ready() for store in self._gens)
+
+    # -- writes are a layout concern ------------------------------------------
+
+    def ingest(self, sink) -> None:
+        raise NotImplementedError("OverlayStore is read-only; ingest into a run store")
+
+    # -- persistence: a full flush collapses the overlay -----------------------
+
+    def merged_store(self) -> OpLineageStore:
+        """Materialise the union as one concrete store (the compaction
+        product): a fresh layout-store absorbing every generation, oldest
+        first, finalized and independent of the generations' mappings."""
+        merged = make_store(self.node, self.strategy, self.out_shape, self.in_shapes)
+        for store in self._gens:
+            merged.absorb(store)
+        merged.finalize_if_possible()
+        return merged
+
+    def flush_segment(
+        self,
+        path: str,
+        shard_threshold_bytes: int | None = None,
+        stale_sink: list | None = None,
+    ) -> int:
+        return self.merged_store().flush_segment(
+            path,
+            shard_threshold_bytes=shard_threshold_bytes,
+            stale_sink=stale_sink,
+        )
+
+    # -- matched-orientation reads --------------------------------------------
+
+    def backward_full(self, qpacked, only_input=None):
+        matched = np.zeros(np.asarray(qpacked).size, dtype=bool)
+        per_input: list[list[np.ndarray]] = [[] for _ in range(self.arity)]
+        for store in reversed(self._gens):
+            m, per = store.backward_full(qpacked, only_input=only_input)
+            matched |= m
+            for i, cells in enumerate(per):
+                if cells.size:
+                    per_input[i].append(cells)
+        return matched, [_concat(parts) for parts in per_input]
+
+    def forward_full(self, qpacked, input_idx):
+        return _concat(
+            [store.forward_full(qpacked, input_idx) for store in reversed(self._gens)]
+        )
+
+    def backward_payload(self, qpacked):
+        matched = np.zeros(np.asarray(qpacked).size, dtype=bool)
+        pairs = []
+        for store in reversed(self._gens):
+            m, p = store.backward_payload(qpacked)
+            matched |= m
+            pairs.extend(p)
+        return matched, pairs
+
+    def backward_payload_rows(self, qpacked):
+        matched = np.zeros(np.asarray(qpacked).size, dtype=bool)
+        hit_parts: list[np.ndarray] = []
+        payloads: list = []
+        for store in reversed(self._gens):
+            rows = store.backward_payload_rows(qpacked)
+            if rows is None:  # a *Many generation: use the pair-based path
+                return None
+            m, hits, values = rows
+            matched |= m
+            if hits.size:
+                hit_parts.append(hits)
+                payloads.extend(values)
+        return matched, _concat(hit_parts), payloads
+
+    # -- mismatched-orientation reads ------------------------------------------
+
+    def scan_forward_full(self, qpacked, input_idx, ticker=None):
+        return np.unique(
+            _concat(
+                [
+                    store.scan_forward_full(qpacked, input_idx, ticker=ticker)
+                    for store in reversed(self._gens)
+                ]
+            )
+        )
+
+    def scan_backward_full(self, qpacked, ticker=None):
+        matched = np.zeros(np.asarray(qpacked).size, dtype=bool)
+        per_input: list[list[np.ndarray]] = [[] for _ in range(self.arity)]
+        for store in reversed(self._gens):
+            m, per = store.scan_backward_full(qpacked, ticker=ticker)
+            matched |= m
+            for i, cells in enumerate(per):
+                if cells.size:
+                    per_input[i].append(cells)
+        return matched, [_concat(parts) for parts in per_input]
+
+    def payload_entries(self):
+        """Concatenated columnar payload surface across the generations.
+
+        Built once and cached (generations are immutable once opened); this
+        concat IS the payload-path read amplification compaction removes —
+        a compacted store hands back its own columns with no copy.
+        """
+        with self._plock:
+            if self._merged_payload is None:
+                key_parts: list[np.ndarray] = []
+                klen_parts: list[np.ndarray] = []
+                vbuf_parts: list[bytes] = []
+                vlen_parts: list[np.ndarray] = []
+                for store in self._gens:
+                    keys, koff, vbuf, voff = store.payload_entries()
+                    if koff.size <= 1:
+                        continue
+                    key_parts.append(np.asarray(keys, dtype=np.int64))
+                    klen_parts.append(np.diff(np.asarray(koff, dtype=np.int64)))
+                    vbuf_parts.append(bytes(vbuf))
+                    vlen_parts.append(np.diff(np.asarray(voff, dtype=np.int64)))
+                if not key_parts:
+                    empty = np.empty(0, dtype=np.int64)
+                    zero = np.zeros(1, dtype=np.int64)
+                    self._merged_payload = (empty, zero, b"", zero)
+                else:
+                    klens = np.concatenate(klen_parts)
+                    vlens = np.concatenate(vlen_parts)
+                    koff = np.zeros(klens.size + 1, dtype=np.int64)
+                    np.cumsum(klens, out=koff[1:])
+                    voff = np.zeros(vlens.size + 1, dtype=np.int64)
+                    np.cumsum(vlens, out=voff[1:])
+                    self._merged_payload = (
+                        np.concatenate(key_parts),
+                        koff,
+                        b"".join(vbuf_parts),
+                        voff,
+                    )
+            return self._merged_payload
+
+    def overridden_keys(self) -> np.ndarray:
+        return np.unique(
+            _concat([store.overridden_keys() for store in self._gens])
+        )
+
+    # -- accounting ------------------------------------------------------------
+
+    def disk_bytes(self) -> int:
+        return sum(store.disk_bytes() for store in self._gens)
+
+    @property
+    def n_entries(self) -> int:
+        return sum(store.n_entries for store in self._gens)

@@ -412,6 +412,10 @@ class QueryExecutor:
                 n_cells,
                 lowered_ready=self.runtime.lowered_ready(node, strategy),
                 reopen_bytes=self.runtime.reopen_bytes(node, strategy),
+                # multi-generation scan planning: an un-compacted store pays
+                # one probe/scan pass per live generation, so its overlay
+                # amplification competes honestly here
+                generations=self.runtime.generation_count(node, strategy),
             )
             if cost < best_cost:
                 best, best_cost = strategy, cost

@@ -206,6 +206,16 @@ class LineageRuntime:
             return self._catalog.lowered_ready(node, strategy)
         return False
 
+    def generation_count(self, node: str, strategy: StorageStrategy) -> int:
+        """How many catalog generations a query on (node, strategy) must
+        overlay — 1 for resident or compacted stores.  Feeds the cost
+        model's read-amplification pricing, answered from the manifest."""
+        if (node, strategy) in self._stores:
+            return 1
+        if self._catalog is not None:
+            return max(1, self._catalog.generation_count(node, strategy))
+        return 1
+
     # -- accounting ---------------------------------------------------------------------
     #
     # Catalog-backed stores always report their manifest (segment file)
@@ -259,7 +269,10 @@ class LineageRuntime:
     # -- persistence --------------------------------------------------------------------
 
     def flush_all(
-        self, directory: str, shard_threshold_bytes: int | None = None
+        self,
+        directory: str,
+        shard_threshold_bytes: int | None = None,
+        append: bool = False,
     ) -> int:
         """Persist every lineage store under ``directory`` as one segment
         each (lowered batch-scan tables included; sharded into
@@ -268,16 +281,42 @@ class LineageRuntime:
         written.  Region lineage stays a cache — this just lets a later
         session serve it straight off disk instead of rebuilding it.
 
-        When a catalog is attached, its entries that no query has opened
-        yet are borrowed (pinned) *one at a time* as the writer reaches
-        them, so a lazy ``load_all`` followed by a ``flush_all`` is
-        lossless, an LRU eviction racing the flush can never close a store
-        mid-write, and peak resident bytes overshoot the memory budget by
-        at most one store rather than the whole workflow."""
+        ``append=True`` turns the flush incremental: only the *resident*
+        stores (this run's lineage) are written, as delta generations of
+        whatever catalog already lives at ``directory`` — committed
+        segments are never rewritten, so the cost is O(delta), not
+        O(catalog).  A later ``load_all`` overlays the generations;
+        :meth:`~repro.core.catalog.StoreCatalog.compact` merges them back.
+        An attached catalog for the same directory is appended in place
+        (its open records are retired so new borrows see the delta).
+
+        When a catalog is attached and ``append`` is False, its entries
+        that no query has opened yet are borrowed (pinned) *one at a time*
+        as the writer reaches them, so a lazy ``load_all`` followed by a
+        ``flush_all`` is lossless, an LRU eviction racing the flush can
+        never close a store mid-write, and peak resident bytes overshoot
+        the memory budget by at most one store rather than the whole
+        workflow.  A multi-generation catalog entry is re-flushed as its
+        merged (compacted) segment."""
+        import os
+
         from repro.core.catalog import StoreCatalog
 
         resident = dict(self._stores)
         catalog = self._catalog
+
+        if append:
+            if catalog is not None and os.path.abspath(
+                catalog.directory
+            ) == os.path.abspath(directory):
+                return catalog.append_stores(
+                    resident, shard_threshold_bytes=shard_threshold_bytes
+                )
+            appended, total = StoreCatalog.append(
+                directory, resident, shard_threshold_bytes=shard_threshold_bytes
+            )
+            appended.close()
+            return total
 
         class _Stores:
             """One-at-a-time borrowing view consumed by StoreCatalog.write."""

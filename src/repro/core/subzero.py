@@ -146,17 +146,76 @@ class SubZero:
     # -- persistence / resumption ---------------------------------------------------
 
     def flush_lineage(
-        self, directory: str, shard_threshold_bytes: int | None = None
+        self,
+        directory: str,
+        shard_threshold_bytes: int | None = None,
+        append: bool = False,
     ) -> int:
         """Persist every materialised lineage store under ``directory`` as
         segment files plus a catalog manifest; returns bytes written.
         Stores larger than ``shard_threshold_bytes`` (when given) are split
-        into ``.seg.0..k`` shard files a later reader maps piecemeal."""
+        into ``.seg.0..k`` shard files a later reader maps piecemeal.
+
+        ``append=True`` makes the flush *incremental*: this run's stores
+        are written as delta generations over the catalog already at
+        ``directory`` (O(delta), committed segments untouched) instead of
+        re-flushing the world.  Readers overlay the generations
+        transparently; call :meth:`compact_lineage` — ideally off the
+        serving path — to merge them back into single segments."""
         if self.runtime is None:
             raise WorkflowError("execute the workflow before flushing lineage")
         return self.runtime.flush_all(
-            directory, shard_threshold_bytes=shard_threshold_bytes
+            directory, shard_threshold_bytes=shard_threshold_bytes, append=append
         )
+
+    def compact_lineage(
+        self,
+        node: str | None = None,
+        strategy: StorageStrategy | None = None,
+        budget_bytes: int | None = None,
+        shard_threshold_bytes: int | None = None,
+    ):
+        """Merge the attached catalog's delta generations back into one
+        segment per store, online (concurrent sessions keep serving; see
+        :meth:`~repro.core.catalog.StoreCatalog.compact`).  Returns the
+        :class:`~repro.core.catalog.CompactionReport`."""
+        if self.runtime is None or self.runtime.catalog is None:
+            raise WorkflowError(
+                "no lineage catalog attached; load_lineage/resume first"
+            )
+        return self.runtime.catalog.compact(
+            node=node,
+            strategy=strategy,
+            budget_bytes=budget_bytes,
+            shard_threshold_bytes=shard_threshold_bytes,
+        )
+
+    def compaction_advice(
+        self, n_query_cells: int = 64
+    ) -> list[tuple[str, StorageStrategy, int, float]]:
+        """Where compaction would pay: ``(node, strategy, generations,
+        estimated seconds saved per query)`` for every multi-generation
+        catalog store, costliest first.  The estimate is the cost model's
+        overlay read-amplification penalty — the same term the query-time
+        optimizer charges, so an empty list means queries already run at
+        single-segment cost."""
+        if self.runtime is None or self.runtime.catalog is None:
+            return []
+        catalog = self.runtime.catalog
+        advice = []
+        for node, strategy in catalog.keys():
+            gens = catalog.generation_count(node, strategy)
+            if gens <= 1:
+                continue
+            penalty = max(
+                self.cost_model.overlay_penalty_seconds(
+                    node, strategy, backward, n_query_cells, gens
+                )
+                for backward in (True, False)
+            )
+            advice.append((node, strategy, gens, penalty))
+        advice.sort(key=lambda item: -item[3])
+        return advice
 
     def load_lineage(
         self, directory: str, memory_budget_bytes: int | None = None

@@ -111,6 +111,19 @@ class HashStore:
             np.asarray([0, len(value)], dtype=np.int64),
         )
 
+    def extend_from(self, other: "HashStore") -> None:
+        """Append every entry of ``other`` (the generational merge writer).
+
+        Consumes the other store's finalized columns in one chunk — the
+        multimap contract keeps duplicate keys side by side, so merging two
+        generations is exactly concatenation followed by the usual sort in
+        :meth:`finalize`.  The value buffer is copied (``put_many`` lifts it
+        to ``bytes``), so the merged store outlives the other store's
+        backing segment."""
+        keys, offsets, buf = other.columns()
+        if keys.size:
+            self.put_many(keys, buf, offsets)
+
     # -- segment maintenance ----------------------------------------------------
 
     def finalize(self) -> None:
@@ -363,6 +376,32 @@ class BlobStore:
         self._probes = {}
         self._probe_source = None
         return np.arange(start, len(self), dtype=np.int64)
+
+    def extend_from(self, other: "BlobStore") -> int:
+        """Append every blob of ``other``; returns the id *base* — the
+        offset callers must add to the other store's blob ids (refs into a
+        merged blob heap shift by however many blobs preceded them).  The
+        heap bytes are copied, so the merge outlives the other store's
+        backing segment.  This is the generational merge writer for the
+        ``FullOne`` layouts.
+
+        The heap is kept as a ``bytearray`` while extending (one upgrade
+        copy, then amortised appends), so absorbing g generations costs
+        O(total bytes), not O(g * total)."""
+        other._finalize()
+        with self._flock:
+            self._finalize()
+            base = self._ends.size
+            if other._ends.size:
+                if not isinstance(self._buf, bytearray):
+                    self._buf = bytearray(self._buf)
+                shift = len(self._buf)
+                self._buf += bytes(other._buf)
+                self._starts = np.concatenate([self._starts, other._starts + shift])
+                self._ends = np.concatenate([self._ends, other._ends + shift])
+                self._probes = {}
+                self._probe_source = None
+            return base
 
     def batch_probe(self, field: int = 0, ticker=None) -> "codecs.BatchProbe":
         """Vectorised prober over every blob's cell-set ``field``.

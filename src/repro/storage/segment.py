@@ -47,6 +47,15 @@ Every shard is itself a complete, independently-checksummed segment file;
 shard 0 additionally carries a ``__shards__`` JSON section mapping every
 section name to its shard, so :class:`ShardedSegment` opens shard 0 only
 and maps sibling shards lazily on the first access that needs them.
+
+Generations: an *incremental* flush appends a store's new lineage as a
+**delta segment** next to the base one instead of rewriting it.  Generation
+``g > 0`` of base path ``<name>.seg`` lives at ``<name>.gen.<g>.seg``
+(:func:`generation_path`); generation 0 *is* the base path, so a catalog
+that never appended is file-for-file identical to the pre-generation
+layout.  A generation file is an ordinary segment (monolithic or sharded
+``…gen.<g>.seg.0..k``) — the overlay/merge semantics live one layer up, in
+:mod:`repro.core.catalog`.
 """
 
 from __future__ import annotations
@@ -65,16 +74,24 @@ from repro.errors import StorageError
 __all__ = [
     "MAGIC",
     "VERSION",
+    "GENERATION_INFIX",
     "Segment",
     "SegmentWriter",
     "ShardedSegment",
+    "generation_files",
+    "generation_path",
     "is_segment_file",
     "open_segment",
+    "remove_segment",
     "segment_files",
 ]
 
 MAGIC = b"SZSG"
 VERSION = 1
+
+#: marker splitting a base segment name from its generation ordinal:
+#: generation ``g`` of ``<stem>.seg`` is the sibling ``<stem>.gen.<g>.seg``
+GENERATION_INFIX = ".gen."
 
 #: name of the shard-index JSON section stored in shard 0 of a sharded write
 SHARD_INDEX_SECTION = "__shards__"
@@ -115,6 +132,73 @@ def segment_files(path: str) -> list[str]:
         files.append(f"{path}.{i}")
         i += 1
     return files
+
+
+def generation_path(path: str, gen: int) -> str:
+    """The on-disk path of generation ``gen`` of base segment ``path``.
+
+    Generation 0 is the base path itself (``spot.seg``); generation ``g > 0``
+    is the sibling ``spot.gen.<g>.seg``, so an append never touches — and a
+    crash mid-append can never tear — the already-committed generations.
+    """
+    if gen < 0:
+        raise StorageError(f"negative segment generation {gen}")
+    if gen == 0:
+        return path
+    root, ext = os.path.splitext(path)
+    return f"{root}{GENERATION_INFIX}{gen}{ext}"
+
+
+def generation_files(path: str) -> dict[int, list[str]]:
+    """Every generation of base segment ``path`` present on disk.
+
+    Maps generation ordinal to the file list backing it (one monolithic
+    file, or the shard files); generation 0 is included when the base
+    segment exists.  Quarantined and temporary files are ignored.  Used to
+    pick a collision-free ordinal for the next append even when a crash
+    left generation files a manifest no longer references.
+    """
+    out: dict[int, list[str]] = {}
+    base_files = segment_files(path)
+    if base_files:
+        out[0] = base_files
+    directory = os.path.dirname(path) or "."
+    root, ext = os.path.splitext(os.path.basename(path))
+    prefix = f"{root}{GENERATION_INFIX}"
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return out
+    for name in names:
+        if not name.startswith(prefix):
+            continue
+        rest = name[len(prefix):]
+        # "<g>.seg" (monolithic) or "<g>.seg.<k>" (a shard)
+        ordinal, dot, tail = rest.partition(".")
+        if not dot or not ordinal.isdigit():
+            continue
+        if tail != ext[1:] and not (
+            tail.startswith(ext[1:] + ".") and tail[len(ext):].isdigit()
+        ):
+            continue
+        files = segment_files(generation_path(path, int(ordinal)))
+        if files:
+            out[int(ordinal)] = files
+    return out
+
+
+def remove_segment(path: str) -> list[str]:
+    """Best-effort removal of the file(s) backing segment ``path``; returns
+    what was actually unlinked.  Missing files are not an error — the
+    deferred-unlink path may race a recovery that already cleaned up."""
+    removed = []
+    for fpath in segment_files(path):
+        try:
+            os.remove(fpath)
+        except OSError:
+            continue
+        removed.append(fpath)
+    return removed
 
 
 def open_segment(path: str, verify: bool = False):
@@ -169,8 +253,16 @@ class SegmentWriter:
         """Add a small JSON metadata section."""
         self._add(name, "json", json.dumps(obj, sort_keys=True).encode("utf-8"))
 
-    def write(self, path: str) -> int:
-        """Write the segment to ``path``; returns bytes written."""
+    def write(self, path: str, stale_sink: list | None = None) -> int:
+        """Write the segment to ``path``; returns bytes written.
+
+        Stale sibling shard files (``path.0..k`` left by an earlier sharded
+        flush, which the new monolith shadows) are removed — unless
+        ``stale_sink`` is given, in which case their paths are appended to
+        it for the caller to reclaim later.  Online compaction uses that to
+        defer the unlink until the last reader pinning the old (lazily
+        mapped) sharded base has released it.
+        """
         # offsets are relative to the payload base (which the reader derives
         # from the header), so the manifest's own length never perturbs them
         rel = 0
@@ -187,20 +279,34 @@ class SegmentWriter:
         # mapping of the old file keeps its inode (no truncation under a
         # live mmap) and readers only ever see a complete file
         tmp = path + ".tmp"
-        with open(tmp, "wb") as fh:
-            fh.write(_HEADER.pack(MAGIC, VERSION, len(manifest)))
-            fh.write(manifest)
-            fh.write(b"\x00" * (base - _HEADER.size - len(manifest)))
-            pos = 0
-            for record, payload in zip(self._sections, self._payloads):
-                fh.write(b"\x00" * (record["offset"] - pos))
-                fh.write(payload)
-                pos = record["offset"] + record["length"]
-        os.replace(tmp, path)
-        _remove_stale_shards(path, 0)
+        try:
+            with open(tmp, "wb") as fh:
+                fh.write(_HEADER.pack(MAGIC, VERSION, len(manifest)))
+                fh.write(manifest)
+                fh.write(b"\x00" * (base - _HEADER.size - len(manifest)))
+                pos = 0
+                for record, payload in zip(self._sections, self._payloads):
+                    fh.write(b"\x00" * (record["offset"] - pos))
+                    fh.write(payload)
+                    pos = record["offset"] + record["length"]
+            os.replace(tmp, path)
+        except BaseException:
+            # an interrupted write (e.g. a compaction crash) must leave the
+            # target untouched *and* no half-written tmp behind
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+        _remove_stale_shards(path, 0, stale_sink)
         return os.path.getsize(path)
 
-    def write_sharded(self, path: str, shard_payload_bytes: int) -> tuple[int, list[str]]:
+    def write_sharded(
+        self,
+        path: str,
+        shard_payload_bytes: int,
+        stale_sink: list | None = None,
+    ) -> tuple[int, list[str]]:
         """Write the collected sections as ``path.0 .. path.k`` shard files.
 
         Sections are assigned to shards by sequential fill: a shard closes
@@ -236,7 +342,7 @@ class SegmentWriter:
         if current:
             groups.append(current)
         if len(groups) <= 1:
-            return self.write(path), [path]
+            return self.write(path, stale_sink=stale_sink), [path]
         basename = os.path.basename(path)
         flush_token = uuid.uuid4().hex
         files = [f"{path}.{s}" for s in range(len(groups))]
@@ -270,18 +376,28 @@ class SegmentWriter:
                 )
             total += shard.write(files[s])
         # a re-flush may shrink the shard count or replace an old monolith;
-        # drop whichever stale files would shadow or trail the new layout
+        # drop whichever stale files would shadow or trail the new layout.
+        # The old monolith is always removed now (it would *shadow* the new
+        # shards); trailing shards only *trail* and may be deferred via
+        # stale_sink for readers still pinning the old layout.
         if os.path.exists(path):
             os.remove(path)
-        _remove_stale_shards(path, len(groups))
+        _remove_stale_shards(path, len(groups), stale_sink)
         return total, files
 
 
-def _remove_stale_shards(path: str, first_stale: int) -> None:
-    """Remove ``path.N`` files for ``N >= first_stale`` (contiguous run)."""
+def _remove_stale_shards(
+    path: str, first_stale: int, stale_sink: list | None = None
+) -> None:
+    """Remove ``path.N`` files for ``N >= first_stale`` (contiguous run) —
+    or, when ``stale_sink`` is given, report them there for a deferred
+    reclaim instead of unlinking now."""
     i = first_stale
     while os.path.exists(f"{path}.{i}"):
-        os.remove(f"{path}.{i}")
+        if stale_sink is not None:
+            stale_sink.append(f"{path}.{i}")
+        else:
+            os.remove(f"{path}.{i}")
         i += 1
 
 

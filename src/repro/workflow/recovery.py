@@ -14,6 +14,14 @@ checksum against the segment manifests and *quarantines* corrupt segments
 (renames them aside and drops them from the catalog) instead of serving
 garbage — the lineage they held is rebuildable by re-running the operator,
 which is exactly the cache contract (§VI-A).
+
+Generational catalogs are verified *per generation*: a torn delta segment
+(interrupted append, bit-flip, or a file a partial delete removed outright
+— missing files take the same quarantine path as checksum failures, never
+a raw ``FileNotFoundError``) is quarantined alone, and the generations
+under it keep serving.  Recovery also sweeps up generation files the
+manifest no longer references — the residue of a crash between
+compaction's manifest swap and its deferred unlink.
 """
 
 from __future__ import annotations
@@ -24,7 +32,7 @@ from dataclasses import dataclass, field
 from repro.arrays.versions import VersionStore
 from repro.core.catalog import StoreCatalog
 from repro.errors import StorageError, WorkflowError
-from repro.storage.segment import open_segment
+from repro.storage.segment import generation_files, generation_path, open_segment, segment_files
 from repro.storage.wal import WriteAheadLog
 from repro.workflow.instance import NodeExecution, WorkflowInstance
 from repro.workflow.spec import WorkflowSpec
@@ -43,6 +51,8 @@ class LineageRecovery:
     catalog: StoreCatalog
     #: ``(segment filename, StorageError)`` per quarantined segment
     quarantined: list[tuple[str, StorageError]] = field(default_factory=list)
+    #: unreferenced generation files swept up (compaction-crash residue)
+    removed_stale: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -56,14 +66,22 @@ def recover_lineage(
 ) -> LineageRecovery:
     """Recover a flushed lineage catalog, trusting checksums over bare files.
 
-    Every segment the manifest records is opened and checksum-verified
-    section by section.  A segment that fails — truncated, bit-flipped,
-    structurally invalid — is *quarantined*: the file is renamed with
-    :data:`QUARANTINE_SUFFIX`, the store is dropped from the catalog, and
-    the failure is reported as a :class:`~repro.errors.StorageError` in the
-    result (or raised immediately when ``strict=True``).  Healthy stores
-    keep serving; the quarantined lineage can be rebuilt by re-running the
-    workflow.
+    Every segment the manifest records — one per store *generation* — is
+    opened and checksum-verified section by section.  A segment that fails
+    — truncated, bit-flipped, structurally invalid, or with files missing
+    outright (a partially deleted store directory surfaces the same way,
+    never as a raw ``FileNotFoundError``) — is *quarantined*: whatever
+    files remain are renamed with :data:`QUARANTINE_SUFFIX`, that
+    generation is dropped from the catalog, and the failure is reported as
+    a :class:`~repro.errors.StorageError` in the result (or raised
+    immediately when ``strict=True``).  A torn generation never takes the
+    generations under it down: the rest of the key keeps serving, so an
+    interrupted append or compaction costs only the delta it was writing.
+    Quarantined lineage can be rebuilt by re-running the workflow.
+
+    Generation files no manifest entry references — left behind when a
+    crash hit between compaction's manifest swap and its deferred unlink —
+    are removed and reported in ``removed_stale``.
 
     ``runtime`` (a :class:`~repro.core.runtime.LineageRuntime`) is attached
     to the verified catalog when given, so queries resume lazily off the
@@ -78,13 +96,16 @@ def recover_lineage(
             # ``.seg.0..k`` stores; verify=True checksums every shard.  The
             # mapping is closed before any rename: Windows cannot rename a
             # mapped file, so quarantine must not depend on GC timing.
+            # FileNotFoundError (and every other OSError) is caught here so
+            # a half-deleted store quarantines exactly like a corrupt one.
             seg = open_segment(path, verify=True)
             seg.close()
         except (StorageError, OSError) as exc:
+            generation = f", generation {entry.gen}" if entry.gen else ""
             error = StorageError(
                 f"lineage segment {entry.file!r} (store {entry.node!r} / "
-                f"{entry.strategy.label}) failed verification and was "
-                f"quarantined: {exc}"
+                f"{entry.strategy.label}{generation}) failed verification "
+                f"and was quarantined: {exc}"
             )
             if strict:
                 raise error from exc
@@ -92,15 +113,50 @@ def recover_lineage(
                 fpath = os.path.join(directory, fname)
                 if os.path.exists(fpath):
                     os.replace(fpath, fpath + QUARANTINE_SUFFIX)
-            catalog.drop(entry.node, entry.strategy)
+            catalog.drop_generation(entry.node, entry.strategy, entry.gen)
             quarantined.append((entry.file, error))
+    removed_stale = _remove_stale_generations(directory, catalog)
     if quarantined:
         # persist the quarantine: a later plain load_all must not re-register
         # strategies whose segments were set aside
         catalog.save_manifest()
     if runtime is not None:
         runtime.attach_catalog(catalog)
-    return LineageRecovery(catalog=catalog, quarantined=quarantined)
+    return LineageRecovery(
+        catalog=catalog, quarantined=quarantined, removed_stale=removed_stale
+    )
+
+
+def _remove_stale_generations(directory: str, catalog: StoreCatalog) -> list[str]:
+    """Delete generation files the manifest does not reference.
+
+    A compaction that crashed after its atomic manifest swap but before the
+    deferred unlink leaves fully-merged delta files behind; they are pure
+    residue (their lineage lives in the merged base segment), but a later
+    append must not trip over their ordinals forever.  Only files carrying
+    the ``.gen.`` infix are candidates — base segments are never touched.
+    """
+    from repro.core.catalog import store_filename
+
+    referenced = {f for entry in catalog.entries() for f in entry.files}
+    removed: list[str] = []
+    for node, strategy in catalog.keys():
+        # derive the base path from the key, not from a gen-0 entry: a key
+        # whose base generation was itself quarantined must still have its
+        # unreferenced delta residue swept
+        base_path = os.path.join(directory, store_filename(node, strategy))
+        for gen, files in sorted(generation_files(base_path).items()):
+            if gen == 0:
+                continue
+            if any(os.path.basename(f) in referenced for f in files):
+                continue
+            for fpath in segment_files(generation_path(base_path, gen)):
+                try:
+                    os.remove(fpath)
+                except OSError:
+                    continue
+                removed.append(os.path.basename(fpath))
+    return removed
 
 
 def recover_instance(
