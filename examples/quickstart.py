@@ -7,7 +7,7 @@ Run with::
 
 import numpy as np
 
-from repro import MAP, FULL_ONE_B, SciArray, SubZero, WorkflowSpec, ops
+from repro import SciArray, SubZero, WorkflowSpec, ops
 
 
 def main() -> None:

@@ -1,0 +1,23 @@
+"""repro.analysis — repo-invariant lint engine and lock-order validator.
+
+Two halves, one contract surface:
+
+* **Static** — ``python -m repro.analysis`` runs the SZ rule catalog
+  (:mod:`repro.analysis.rules`) over the package and gates CI on the
+  serving core's concurrency and resource contracts.  See
+  ``docs/static_analysis.md``.
+* **Dynamic** — :mod:`repro.analysis.lockcheck` is the instrumented lock
+  factory every core/storage lock is built through; under
+  ``REPRO_LOCKCHECK=1`` it validates lock-acquisition order at runtime
+  while the stress suites execute.
+
+This module deliberately imports nothing heavy: ``from repro.analysis
+import lockcheck`` is on the import path of every core module and must
+stay cheap.
+"""
+
+from __future__ import annotations
+
+__all__ = ["lockcheck"]
+
+from repro.analysis import lockcheck

@@ -1,0 +1,114 @@
+"""CLI: ``python -m repro.analysis [paths...]``.
+
+Exit status 0 when every finding is inline-suppressed or baselined,
+1 otherwise — the contract the CI ``invariants`` job gates on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.analysis.engine import Baseline, format_report, run
+
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def _default_paths() -> list[str]:
+    """Scan ``src/repro`` relative to the repo root when run from it,
+    else the installed package directory."""
+    if os.path.isdir(os.path.join("src", "repro")):
+        return [os.path.join("src", "repro")]
+    import repro
+
+    return [os.path.dirname(os.path.abspath(repro.__file__))]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Machine-check the SZ invariant catalog (see docs/static_analysis.md).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to scan (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        help="output format (github emits workflow commands)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline JSON path (default: ./{DEFAULT_BASELINE} when present)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0 "
+        "(justifications start as TODO — edit them before committing)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.analysis.rules import ALL_RULES
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            scope = ", ".join(rule.scope) if rule.scope else "all files"
+            print(f"{rule.id}  {rule.title}  [{scope}]")
+            print(f"       {rule.rationale}")
+        return 0
+
+    rules = ALL_RULES
+    if args.select:
+        wanted = {part.strip() for part in args.select.split(",") if part.strip()}
+        rules = [rule for rule in ALL_RULES if rule.id in wanted]
+        unknown = wanted - {rule.id for rule in rules}
+        if unknown:
+            parser.error(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+
+    paths = args.paths or _default_paths()
+
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.exists(DEFAULT_BASELINE):
+        baseline_path = DEFAULT_BASELINE
+
+    if args.write_baseline:
+        report = run(paths, rules=rules, baseline=None)
+        target = baseline_path or DEFAULT_BASELINE
+        Baseline.from_findings(report.findings).save(target)
+        print(
+            f"wrote {len(report.findings)} entr(y/ies) to {target} — "
+            "edit the TODO justifications before committing"
+        )
+        return 0
+
+    baseline = None
+    if baseline_path is not None:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot load baseline {baseline_path!r}: {exc}", file=sys.stderr)
+            return 2
+
+    report = run(paths, rules=rules, baseline=baseline)
+    print(format_report(report, args.format))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

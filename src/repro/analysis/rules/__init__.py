@@ -1,0 +1,40 @@
+"""Repo-specific lint rules (the SZ invariant catalog).
+
+Each rule machine-checks one contract of the concurrent storage core —
+contracts documented in ``docs/serving.md`` / ``docs/storage_format.md``
+and, until this package existed, enforced only by reviewer eyeballs:
+
+==== =====================================================================
+id   invariant
+==== =====================================================================
+SZ001 ``acquire()``/``borrow()`` results must be released on every path
+SZ002 no blocking I/O while holding a serving-path lock
+SZ003 tmp-file writes must clean up their tmp on failure
+SZ004 the storage layer never lets a raw ``OSError`` escape
+SZ005 locks are constructed only via the lockcheck factory
+SZ006 public mutating methods of lock-owning classes hold their lock
+==== =====================================================================
+
+Rules are small AST passes over one :class:`~repro.analysis.engine.ModuleContext`
+at a time; ``ALL_RULES`` is the registry the engine and CLI consume.  See
+``docs/static_analysis.md`` for each rule's serving-contract rationale and
+its known (deliberate) limits.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules.base import Rule
+from repro.analysis.rules.errors import SZ004
+from repro.analysis.rules.locks import SZ002, SZ005, SZ006
+from repro.analysis.rules.resources import SZ001, SZ003
+
+__all__ = ["ALL_RULES", "Rule", "rule_by_id"]
+
+ALL_RULES = [SZ001(), SZ002(), SZ003(), SZ004(), SZ005(), SZ006()]
+
+
+def rule_by_id(rule_id: str):
+    for rule in ALL_RULES:
+        if rule.id == rule_id:
+            return rule
+    raise KeyError(rule_id)

@@ -1,0 +1,22 @@
+"""Rule base class (separate module so rule modules avoid import cycles)."""
+
+from __future__ import annotations
+
+__all__ = ["Rule"]
+
+
+class Rule:
+    """Base class: subclasses set ``id``/``title``/``rationale``/``scope``
+    and implement ``check(ctx) -> Iterable[Finding]``.
+
+    ``scope`` is a tuple of path substrings; an empty tuple means every
+    scanned file.  The engine applies the filter before calling ``check``.
+    """
+
+    id: str = ""
+    title: str = ""
+    rationale: str = ""
+    scope: tuple[str, ...] = ()
+
+    def check(self, ctx):  # pragma: no cover - interface
+        raise NotImplementedError

@@ -1,0 +1,124 @@
+"""Error-contract rule: SZ004 — the storage layer never lets a raw
+``OSError`` escape to callers; it wraps in :class:`repro.errors.StorageError`."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import dotted_name
+from repro.analysis.rules.base import Rule
+
+#: calls that can raise OSError from the filesystem
+_RISKY_DOTTED = {
+    "open",
+    "os.replace",
+    "os.remove",
+    "os.unlink",
+    "os.rename",
+    "os.makedirs",
+    "os.listdir",
+    "os.fsync",
+    "os.stat",
+    "os.path.getsize",
+    "mmap.mmap",
+}
+
+#: exception names whose catch covers OSError
+_COVERS_OSERROR = {
+    "OSError",
+    "IOError",
+    "EnvironmentError",
+    "FileNotFoundError",
+    "Exception",
+    "BaseException",
+}
+
+#: exception names that count as the sanctioned wrapper
+_WRAPPERS = {"StorageError", "LineageError"}
+
+
+def _handler_names(handler: ast.ExceptHandler) -> set[str]:
+    """The exception type names an ``except`` clause catches."""
+    if handler.type is None:
+        return {"BaseException"}  # bare except
+    nodes = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    out = set()
+    for node in nodes:
+        name = dotted_name(node)
+        if name is not None:
+            out.add(name.rsplit(".", 1)[-1])
+    return out
+
+
+def _handler_wraps_or_swallows(handler: ast.ExceptHandler) -> bool:
+    """A handler satisfies the contract when it raises a domain error, or
+    raises nothing at all (deliberate swallow / cleanup-and-continue).  A
+    bare ``raise`` re-throws the raw OSError and does NOT satisfy it —
+    unless a sibling raise of a wrapper exists (isinstance dispatch)."""
+    raises = [
+        node for node in ast.walk(handler) if isinstance(node, ast.Raise)
+    ]
+    if not raises:
+        return True
+    for node in raises:
+        exc = node.exc
+        if exc is None:
+            continue  # bare re-raise: judged by the other raises
+        target = exc.func if isinstance(exc, ast.Call) else exc
+        name = dotted_name(target)
+        if name is not None and name.rsplit(".", 1)[-1] in _WRAPPERS:
+            return True
+    # only bare re-raises / non-wrapper raises found
+    return False
+
+
+class SZ004(Rule):
+    id = "SZ004"
+    title = "the storage layer never lets a raw OSError escape"
+    rationale = (
+        "Callers above the storage boundary catch StorageError — a raw "
+        "OSError/FileNotFoundError from deep inside a segment open skips "
+        "every recovery path (catalog eviction retry, serving-session "
+        "fallback) and kills the worker thread instead."
+    )
+    scope = ("storage/", "core/catalog.py", "core/lineage_store.py")
+
+    def check(self, ctx):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name not in _RISKY_DOTTED:
+                continue
+            if self._properly_guarded(ctx, node):
+                continue
+            yield ctx.finding(
+                self.id,
+                node,
+                f"{name}() can raise a raw OSError through the storage "
+                "boundary — wrap in try/except OSError and re-raise as "
+                "StorageError",
+            )
+
+    @staticmethod
+    def _properly_guarded(ctx, call: ast.Call) -> bool:
+        """True when an enclosing Try catches an OSError-covering type and
+        its handler wraps (or deliberately swallows) the error."""
+        for anc in ctx.ancestors(call):
+            if not isinstance(anc, ast.Try):
+                continue
+            # the call must be in the try body, not in a handler/finally
+            in_body = any(
+                call is stmt or any(call is sub for sub in ast.walk(stmt))
+                for stmt in anc.body
+            )
+            if not in_body:
+                continue
+            for handler in anc.handlers:
+                if _handler_names(handler) & _COVERS_OSERROR:
+                    if _handler_wraps_or_swallows(handler):
+                        return True
+                    return False  # catches it, then leaks it raw: finding
+        return False

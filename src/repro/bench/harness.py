@@ -12,15 +12,11 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.core.modes import (
-    BLACKBOX,
     COMP_ONE_B,
     FULL_MANY_B,
     FULL_ONE_B,
     FULL_ONE_F,
-    MAP,
     PAY_MANY_B,
     PAY_ONE_B,
     StorageStrategy,

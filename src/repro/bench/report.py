@@ -43,10 +43,19 @@ def write_bench_json(name: str, metrics: dict, directory: str | None = None) -> 
         merged[str(key)] = float(value)
     payload = {"bench": name, "metrics": dict(sorted(merged.items()))}
     tmp = path + ".tmp"
-    with open(tmp, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    os.replace(tmp, path)
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        # a failed report write must not litter the bench directory with a
+        # half-written tmp the next merge would mistake for a report
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
     return path
 
 

@@ -72,6 +72,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
+from repro.analysis import lockcheck
 from repro.core.lineage_store import OpLineageStore, make_store
 from repro.core.modes import EncodingKind, LineageMode, Orientation, StorageStrategy
 from repro.core.overlay import OverlayStore
@@ -237,14 +238,14 @@ class StoreCatalog:
                     key=lambda e: e.gen,
                 )
             )
-        self._lock = threading.RLock()
+        self._lock = lockcheck.make_rlock("catalog.cache")
         #: serializes the *mutating* maintenance paths (append_stores,
         #: compact) against each other — two concurrent appends must never
         #: race the generation-ordinal choice (a duplicate ordinal would
         #: brick the manifest), and a compact never interleaves with an
         #: append's flush.  Readers are untouched: borrows only take
         #: ``_lock`` for cache bookkeeping.
-        self._maintenance_lock = threading.Lock()
+        self._maintenance_lock = lockcheck.make_lock("catalog.maintenance")
         #: LRU cache of open stores, most-recently-used last
         self._open: "OrderedDict[tuple[str, StorageStrategy], _OpenStore]" = OrderedDict()
         #: records evicted while pinned: out of the cache, not yet closed
@@ -281,7 +282,12 @@ class StoreCatalog:
         A full write collapses generations: flushing an
         :class:`~repro.core.overlay.OverlayStore` writes the merged segment,
         and any stale delta files of the written stores are removed."""
-        os.makedirs(directory, exist_ok=True)
+        try:
+            os.makedirs(directory, exist_ok=True)
+        except OSError as exc:
+            raise StorageError(
+                f"cannot create catalog directory {directory!r}: {exc}"
+            ) from exc
         entries: list[CatalogEntry] = []
         total = 0
         for (node, strategy), store in stores.items():
@@ -349,15 +355,19 @@ class StoreCatalog:
         try:
             with open(tmp, "w", encoding="utf-8") as fh:
                 json.dump(manifest, fh, indent=2, sort_keys=True)
-        except BaseException:
+            os.replace(tmp, path)
+            return os.path.getsize(path)
+        except BaseException as exc:
             # never leave a half-written tmp behind a crash we can see
             try:
                 os.remove(tmp)
             except OSError:
                 pass
+            if isinstance(exc, OSError):
+                raise StorageError(
+                    f"cannot write catalog manifest {path!r}: {exc}"
+                ) from exc
             raise
-        os.replace(tmp, path)
-        return os.path.getsize(path)
 
     # -- appending (incremental delta generations) -----------------------------
 
@@ -378,7 +388,12 @@ class StoreCatalog:
         if os.path.exists(os.path.join(directory, MANIFEST_NAME)):
             catalog = cls.open(directory, memory_budget_bytes=memory_budget_bytes)
         else:
-            os.makedirs(directory, exist_ok=True)
+            try:
+                os.makedirs(directory, exist_ok=True)
+            except OSError as exc:
+                raise StorageError(
+                    f"cannot create catalog directory {directory!r}: {exc}"
+                ) from exc
             catalog = cls(directory, [], memory_budget_bytes=memory_budget_bytes)
         total = catalog.append_stores(
             stores, shard_threshold_bytes=shard_threshold_bytes
@@ -403,6 +418,7 @@ class StoreCatalog:
         appends can never claim the same generation ordinal.
         """
         with self._maintenance_lock:
+            # szlint: ignore[SZ002] -- the maintenance lock exists to serialize flush I/O; readers never take it
             return self._append_stores_locked(stores, shard_threshold_bytes)
 
     def _append_stores_locked(self, stores, shard_threshold_bytes: int | None) -> int:
@@ -483,8 +499,8 @@ class StoreCatalog:
             merged = self._entries.get(key, ()) + (entry,)
             self._entries[key] = tuple(sorted(merged, key=lambda e: e.gen))
             record = self._open.pop(key, None)
-            if record is not None:
-                self._retire(record)
+            stale = self._retire_locked(record) if record is not None else []
+        self._reclaim(stale)
         return nbytes
 
     # -- compaction -------------------------------------------------------------
@@ -530,6 +546,7 @@ class StoreCatalog:
         window or with a full re-flush.
         """
         with self._maintenance_lock:
+            # szlint: ignore[SZ002] -- the maintenance lock exists to serialize merge I/O; readers never take it
             return self._compact_locked(node, strategy, budget_bytes, shard_threshold_bytes)
 
     def _compact_locked(
@@ -598,7 +615,7 @@ class StoreCatalog:
                     shard_threshold_bytes=shard_threshold_bytes,
                     stale_sink=base_stale,
                 )
-            except OSError as exc:
+            except (OSError, StorageError) as exc:
                 # e.g. Windows refusing to rename over a base segment a
                 # pinned reader still maps; nothing was swapped — the old
                 # generation set keeps serving, retry after pins drop
@@ -648,11 +665,14 @@ class StoreCatalog:
                 holders.append(record)
         self.save_manifest()
         with self._lock:
+            unlinkable: list[str] = []
             if record is not None:
-                self._retire(record)  # closes now unless a session pins it
+                # closes now unless a session pins it
+                unlinkable += self._retire_locked(record)
             # readers of the old set keep their files until the last one
             # closes; with no live holder this unlinks immediately
-            self._defer_unlink_locked(holders, stale)
+            unlinkable += self._defer_unlink_locked(holders, stale)
+        self._reclaim(unlinkable)
         return nbytes
 
     # -- opening -------------------------------------------------------------
@@ -739,8 +759,8 @@ class StoreCatalog:
         with self._lock:
             self._entries.pop((node, strategy), None)
             record = self._open.pop((node, strategy), None)
-            if record is not None:
-                self._retire(record)
+            stale = self._retire_locked(record) if record is not None else []
+        self._reclaim(stale)
 
     def drop_generation(self, node: str, strategy: StorageStrategy, gen: int) -> None:
         """Forget one generation of a key, keeping the others serving (used
@@ -756,8 +776,8 @@ class StoreCatalog:
             else:
                 self._entries.pop((node, strategy), None)
             record = self._open.pop((node, strategy), None)
-            if record is not None:
-                self._retire(record)
+            stale = self._retire_locked(record) if record is not None else []
+        self._reclaim(stale)
 
     def strategies_for(self, node: str) -> tuple[StorageStrategy, ...]:
         return tuple(s for (n, s) in self._entries if n == node)
@@ -820,13 +840,15 @@ class StoreCatalog:
                     record.evicted = True
                     if self._open.get(key) is record:
                         del self._open[key]
-                    self._close_record(record)
+                    stale = self._close_record_locked(record)
                 record.ready.set()  # wake waiters; they re-raise via error
+                self._reclaim(stale)
                 raise
             record.store = store
             record.ready.set()
             with self._lock:
-                self._evict_over_budget()
+                stale = self._evict_over_budget()
+            self._reclaim(stale)
             return record
         record.ready.wait()
         if record.error is not None:
@@ -865,9 +887,10 @@ class StoreCatalog:
         with self._lock:
             record.pins -= 1
             if record.evicted and record.pins <= 0:
-                self._close_record(record)
+                stale = self._close_record_locked(record)
             else:
-                self._evict_over_budget()
+                stale = self._evict_over_budget()
+        self._reclaim(stale)
 
     def open_store(
         self, node: str, strategy: StorageStrategy
@@ -897,15 +920,18 @@ class StoreCatalog:
                 # retired while we held the only pin (e.g. recovery dropped
                 # the entry): close now so the mapping never lingers; the
                 # poisoned store tells the caller loudly
-                self._close_record(record)
+                stale = self._close_record_locked(record)
             else:
-                self._evict_over_budget(exclude=record)
+                stale = self._evict_over_budget(exclude=record)
+        self._reclaim(stale)
         return store
 
     # -- eviction ------------------------------------------------------------
 
-    def _evict_over_budget(self, exclude: _OpenStore | None = None) -> None:
-        """Evict (LRU first) until resident bytes fit the budget.
+    def _evict_over_budget(self, exclude: _OpenStore | None = None) -> list[str]:
+        """Evict (LRU first) until resident bytes fit the budget; returns
+        the deferred-unlink paths the evictions released (the caller
+        reclaims them after dropping the lock).
 
         Only *unpinned* records are eligible — classic buffer-pool
         semantics: borrowed stores stay shared and mapped, and the cache
@@ -915,9 +941,10 @@ class StoreCatalog:
         shields one record from this pass only (the store ``open_store``
         is about to hand back unpinned).  Callers hold the lock.
         """
+        unlinkable: list[str] = []
         budget = self.memory_budget_bytes
         if budget is None:
-            return
+            return unlinkable
         while self._resident_bytes_locked() > budget:
             victim_key = None
             for key, record in self._open.items():  # LRU order
@@ -925,13 +952,22 @@ class StoreCatalog:
                     victim_key = key
                     break
             if victim_key is None:
-                return  # everything left is pinned; retry at next release
+                break  # everything left is pinned; retry at next release
             record = self._open.pop(victim_key)
             record.evicted = True
             self._evictions += 1
-            self._close_record(record)
+            unlinkable.extend(self._close_record_locked(record))
+        return unlinkable
 
-    def _close_record(self, record: _OpenStore) -> None:
+    def _close_record_locked(self, record: _OpenStore) -> list[str]:
+        """Close a record's mapping and return the deferred-unlink paths
+        its close released.  Callers hold the lock and MUST pass the
+        returned paths to :meth:`_reclaim` after dropping it: unlinks are
+        disk I/O, and the catalog lock is never held across disk I/O
+        (rule SZ002).  The ``store.close()`` itself — an munmap — stays
+        under the lock: it is non-blocking bookkeeping, and running it
+        here keeps resident-byte accounting exact."""
+        unlinkable: list[str] = []
         if record in self._lingering:
             self._lingering.remove(record)
         if not record.closed:
@@ -947,29 +983,37 @@ class StoreCatalog:
                 if holders:
                     remaining.append((holders, files))
                 else:
-                    for path in files:
-                        seglib.remove_segment(path)
+                    unlinkable.extend(files)
             self._deferred_unlink = remaining
+        return unlinkable
 
-    def _defer_unlink_locked(self, holders: list, files: list[str]) -> None:
-        """Unlink ``files`` now, or once the last of ``holders`` closes."""
+    def _defer_unlink_locked(self, holders: list, files: list[str]) -> list[str]:
+        """Queue ``files`` behind ``holders``; returns the ones with no
+        live holder, which the caller unlinks after dropping the lock."""
         holders = [r for r in holders if not r.closed]
         if not files:
-            return
+            return []
         if holders:
             self._deferred_unlink.append((holders, list(files)))
-        else:
-            for path in files:
-                seglib.remove_segment(path)
+            return []
+        return list(files)
 
-    def _retire(self, record: _OpenStore) -> None:
+    def _retire_locked(self, record: _OpenStore) -> list[str]:
         """Close (or defer-close) a record leaving the cache outside the
-        normal eviction path (drop / close)."""
+        normal eviction path (drop / close); returns paths to reclaim."""
         record.evicted = True
         if record.pins > 0:
             self._lingering.append(record)
-        else:
-            self._close_record(record)
+            return []
+        return self._close_record_locked(record)
+
+    @staticmethod
+    def _reclaim(paths: list[str]) -> None:
+        """Unlink superseded segment files — always called after the
+        catalog lock is released, so one thread's slow disk never stalls
+        every concurrent borrow on cache bookkeeping."""
+        for path in paths:
+            seglib.remove_segment(path)
 
     def _resident_bytes_locked(self) -> int:
         total = sum(r.resident_bytes() for r in self._open.values())
@@ -1022,9 +1066,11 @@ class StoreCatalog:
             records = list(self._open.values()) + list(self._lingering)
             self._open.clear()
             self._lingering.clear()
+            stale: list[str] = []
             for record in records:
                 record.evicted = True
-                self._close_record(record)
+                stale.extend(self._close_record_locked(record))
+        self._reclaim(stale)
 
     def __enter__(self) -> "StoreCatalog":
         return self

@@ -54,10 +54,9 @@ All public methods speak *packed* coordinates (int64, see
 
 from __future__ import annotations
 
-import threading
-
 import numpy as np
 
+from repro.analysis import lockcheck
 from repro.arrays import coords as C
 from repro.core.model import BufferSink
 from repro.core.modes import (
@@ -133,7 +132,7 @@ class RegionEntryTable:
         self._dirty = False
         # serializes finalize and probe construction under concurrent
         # readers; the finalized columns themselves are immutable
-        self._flock = threading.RLock()
+        self._flock = lockcheck.make_rlock("region_table.finalize")
 
     # -- writes ----------------------------------------------------------------
 
@@ -141,6 +140,7 @@ class RegionEntryTable:
         key_packed = np.sort(np.ascontiguousarray(key_packed, dtype=np.int64))
         if key_packed.size == 0:
             raise StorageError("a region entry needs at least one key cell")
+        # szlint: ignore[SZ006] -- ingest is single-writer by contract; _flock only guards the finalize merge
         self._key_chunks.append(key_packed)
         self._klen_chunks.append(np.asarray([key_packed.size], dtype=np.int64))
         self._val_chunks.append(bytes(value))
@@ -158,6 +158,7 @@ class RegionEntryTable:
         val_lengths = np.ascontiguousarray(val_lengths, dtype=np.int64)
         if val_lengths.size != n or int(val_lengths.sum()) != len(val_buf):
             raise StorageError("value lengths must align with keys and span buffer")
+        # szlint: ignore[SZ006] -- ingest is single-writer by contract; _flock only guards the finalize merge
         self._key_chunks.append(keys_packed)
         self._klen_chunks.append(np.ones(n, dtype=np.int64))
         self._val_chunks.append(bytes(val_buf))
@@ -180,6 +181,7 @@ class RegionEntryTable:
         n = koff.size - 1
         if n <= 0:
             return
+        # szlint: ignore[SZ006] -- ingest is single-writer by contract; _flock only guards the finalize merge
         self._key_chunks.append(np.array(keys, dtype=np.int64))
         self._klen_chunks.append(np.diff(koff))
         self._val_chunks.append(bytes(vbuf))
@@ -502,8 +504,11 @@ class RegionEntryTable:
         # legacy pre-segment layout: bare counts + columns; boxes and the
         # R-tree are re-derived by finalize()
         table = cls(key_shape)
-        with open(path, "rb") as fh:
-            raw = fh.read()
+        try:
+            with open(path, "rb") as fh:
+                raw = fh.read()
+        except OSError as exc:
+            raise StorageError(f"cannot load store file {path!r}: {exc}") from exc
         n, n_keys = struct.unpack_from("<qq", raw, 0)
         if n == 0:
             return table

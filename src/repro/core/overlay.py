@@ -36,10 +36,9 @@ generations is exact, even when generations overlap.
 
 from __future__ import annotations
 
-import threading
-
 import numpy as np
 
+from repro.analysis import lockcheck
 from repro.core.lineage_store import OpLineageStore, _concat, make_store
 
 __all__ = ["OverlayStore"]
@@ -84,7 +83,7 @@ class OverlayStore(OpLineageStore):
         self._segment = _OverlaySegments(self._gens)
         #: cached concatenation of the generations' payload columns
         self._merged_payload: tuple | None = None
-        self._plock = threading.Lock()
+        self._plock = lockcheck.make_lock("overlay.payload")
 
     # -- introspection -------------------------------------------------------
 
@@ -98,8 +97,9 @@ class OverlayStore(OpLineageStore):
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
-        self._segment = None
-        self._merged_payload = None
+        with self._plock:
+            self._segment = None
+            self._merged_payload = None
         for store in self._gens:
             store.close()
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import time
 
+from repro.analysis import lockcheck
 from repro.core.lineage_store import OpLineageStore, make_store
 from repro.core.model import BufferSink
 from repro.core.modes import BLACKBOX, LineageMode, StorageStrategy
@@ -177,16 +178,21 @@ class LineageRuntime:
 
     def serving_stats(self) -> dict[str, int]:
         """The catalog cache's hit/miss/evict/open-mapping counters (zeros
-        when no catalog is attached)."""
+        when no catalog is attached), plus the lock-order validator's
+        counters — all zero unless ``REPRO_LOCKCHECK=1`` instrumented the
+        locks (see :mod:`repro.analysis.lockcheck`)."""
         if self._catalog is not None:
-            return self._catalog.stats()
-        return {
-            "hits": 0,
-            "misses": 0,
-            "evictions": 0,
-            "open_mappings": 0,
-            "resident_bytes": 0,
-        }
+            stats = self._catalog.stats()
+        else:
+            stats = {
+                "hits": 0,
+                "misses": 0,
+                "evictions": 0,
+                "open_mappings": 0,
+                "resident_bytes": 0,
+            }
+        stats.update(lockcheck.stats())
+        return stats
 
     def stores_for_node(self, node: str) -> list[OpLineageStore]:
         """Resident stores only — catalog entries stay unopened (use

@@ -98,6 +98,12 @@ class StatsCollector:
             "evictions": 0,
             "open_mappings": 0,
             "resident_bytes": 0,
+            # lock-order validator counters (non-zero only under
+            # REPRO_LOCKCHECK=1; see repro.analysis.lockcheck)
+            "lockcheck_locks": 0,
+            "lockcheck_max_held": 0,
+            "lockcheck_cycles": 0,
+            "lockcheck_held_io": 0,
         }
 
     def get(self, node: str) -> OperatorStats:

@@ -28,8 +28,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Mapping, Sequence
 
-import numpy as np
-
+from repro.analysis import lockcheck
 from repro.arrays.array import SciArray
 from repro.arrays.versions import VersionStore
 from repro.core.costmodel import CostConstants, CostModel
@@ -311,7 +310,7 @@ class SubZero:
             return [executor.execute(q) for q in queries]
         local = threading.local()
         sessions: list[QuerySession] = []
-        sessions_lock = threading.Lock()
+        sessions_lock = lockcheck.make_lock("subzero.serve.sessions")
 
         def run(query: LineageQuery) -> QueryResult:
             session = getattr(local, "session", None)

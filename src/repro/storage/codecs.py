@@ -64,10 +64,10 @@ Everything is vectorised with numpy; nothing here loops over cells.
 from __future__ import annotations
 
 import struct
-import threading
 
 import numpy as np
 
+from repro.analysis import lockcheck
 from repro.arrays.coords import expand_ranges, isin_sorted
 from repro.errors import StorageError
 
@@ -957,7 +957,7 @@ class BatchProbe:
         self._lowered: _LoweredHeap | None = None
         # one thread lowers, everyone else waits and reuses the tables —
         # concurrent serving threads must not race the (expensive) cache fill
-        self._lower_lock = threading.Lock()
+        self._lower_lock = lockcheck.make_lock("batchprobe.lower")
 
     # -- lowering ----------------------------------------------------------
 

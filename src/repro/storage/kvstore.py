@@ -28,11 +28,11 @@ keep loading.
 from __future__ import annotations
 
 import struct
-import threading
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis import lockcheck
 from repro.arrays.coords import expand_ranges
 from repro.errors import StorageError
 from repro.storage import codecs
@@ -64,7 +64,7 @@ class HashStore:
         # guards the pending->segment merge so concurrent readers (serving
         # sessions) cannot race a finalize; writes themselves stay
         # single-threaded (the ingest path), per the serving contract
-        self._flock = threading.RLock()
+        self._flock = lockcheck.make_rlock("hashstore.finalize")
 
     # -- writes -------------------------------------------------------------
 
@@ -78,6 +78,7 @@ class HashStore:
             return
         if offsets[0] != 0 or offsets[-1] != len(buf) or (np.diff(offsets) < 0).any():
             raise StorageError("offsets must be non-decreasing and span buf")
+        # szlint: ignore[SZ006] -- ingest is single-writer by contract; _flock only guards the finalize merge
         self._chunks.append(_Chunk(keys, offsets, bytes(buf)))
         self._dirty = True
 
@@ -307,8 +308,11 @@ class HashStore:
             return cls.from_segment(seglib.Segment.open(path), "", name)
         # legacy pre-segment layout: bare <q count + columns
         store = cls(name)
-        with open(path, "rb") as fh:
-            raw = fh.read()
+        try:
+            with open(path, "rb") as fh:
+                raw = fh.read()
+        except OSError as exc:
+            raise StorageError(f"cannot load store file {path!r}: {exc}") from exc
         (n,) = struct.unpack_from("<q", raw, 0)
         if n:
             keys = np.frombuffer(raw, dtype="<i8", count=n, offset=8).astype(np.int64)
@@ -320,9 +324,10 @@ class HashStore:
         return store
 
     def clear(self) -> None:
-        self._chunks = []
-        self._segment = None
-        self._dirty = False
+        with self._flock:
+            self._chunks = []
+            self._segment = None
+            self._dirty = False
 
 
 class BlobStore:
@@ -347,7 +352,7 @@ class BlobStore:
         self._probe_source: tuple | None = None
         # serializes heap finalization and probe construction so concurrent
         # reader threads cannot race a cache fill (serving contract)
-        self._flock = threading.RLock()
+        self._flock = lockcheck.make_rlock("blobstore.finalize")
 
     def _finalize(self) -> None:
         if not self._pending:  # racy fast path; re-checked under the lock
@@ -364,6 +369,7 @@ class BlobStore:
             self._pending = []
 
     def append(self, data: bytes) -> int:
+        # szlint: ignore[SZ006] -- ingest is single-writer by contract; _flock only guards the finalize merge
         self._pending.append(bytes(data))
         self._probes = {}
         self._probe_source = None
@@ -372,6 +378,7 @@ class BlobStore:
     def append_many(self, blobs: list[bytes]) -> np.ndarray:
         start = len(self)
         for blob in blobs:
+            # szlint: ignore[SZ006] -- ingest is single-writer by contract; _flock only guards the finalize merge
             self._pending.append(bytes(blob))
         self._probes = {}
         self._probe_source = None
@@ -527,8 +534,11 @@ class BlobStore:
             return cls.from_segment(seglib.Segment.open(path), "", name)
         # legacy pre-segment layout: <q count + length-prefixed blobs
         store = cls(name)
-        with open(path, "rb") as fh:
-            raw = fh.read()
+        try:
+            with open(path, "rb") as fh:
+                raw = fh.read()
+        except OSError as exc:
+            raise StorageError(f"cannot load store file {path!r}: {exc}") from exc
         (count,) = struct.unpack_from("<q", raw, 0)
         offset = 8
         for _ in range(count):
@@ -537,12 +547,13 @@ class BlobStore:
         return store
 
     def clear(self) -> None:
-        self._buf = b""
-        self._starts = np.empty(0, dtype=np.int64)
-        self._ends = np.empty(0, dtype=np.int64)
-        self._pending = []
-        self._probes = {}
-        self._probe_source = None
+        with self._flock:
+            self._buf = b""
+            self._starts = np.empty(0, dtype=np.int64)
+            self._ends = np.empty(0, dtype=np.int64)
+            self._pending = []
+            self._probes = {}
+            self._probe_source = None
 
 
 def _bases(chunks: list[_Chunk]) -> list[int]:

@@ -64,11 +64,11 @@ import json
 import mmap
 import os
 import struct
-import threading
 import zlib
 
 import numpy as np
 
+from repro.analysis import lockcheck
 from repro.errors import StorageError
 
 __all__ = [
@@ -191,6 +191,7 @@ def remove_segment(path: str) -> list[str]:
     """Best-effort removal of the file(s) backing segment ``path``; returns
     what was actually unlinked.  Missing files are not an error — the
     deferred-unlink path may race a recovery that already cleaned up."""
+    lockcheck.note_io(f"segment.unlink:{os.path.basename(path)}")
     removed = []
     for fpath in segment_files(path):
         try:
@@ -274,12 +275,13 @@ class SegmentWriter:
             {"version": VERSION, "sections": self._sections}, sort_keys=True
         ).encode("utf-8")
         base = _align8(_HEADER.size + len(manifest))
-        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        lockcheck.note_io(f"segment.write:{os.path.basename(path)}")
         # write-then-rename: replacing a segment atomically means an open
         # mapping of the old file keeps its inode (no truncation under a
         # live mmap) and readers only ever see a complete file
         tmp = path + ".tmp"
         try:
+            os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
             with open(tmp, "wb") as fh:
                 fh.write(_HEADER.pack(MAGIC, VERSION, len(manifest)))
                 fh.write(manifest)
@@ -290,16 +292,21 @@ class SegmentWriter:
                     fh.write(payload)
                     pos = record["offset"] + record["length"]
             os.replace(tmp, path)
-        except BaseException:
+            nbytes = os.path.getsize(path)
+        except BaseException as exc:
             # an interrupted write (e.g. a compaction crash) must leave the
             # target untouched *and* no half-written tmp behind
             try:
                 os.remove(tmp)
             except OSError:
                 pass
+            if isinstance(exc, OSError):
+                raise StorageError(
+                    f"cannot write segment {path!r}: {exc}"
+                ) from exc
             raise
         _remove_stale_shards(path, 0, stale_sink)
-        return os.path.getsize(path)
+        return nbytes
 
     def write_sharded(
         self,
@@ -381,7 +388,12 @@ class SegmentWriter:
         # shards); trailing shards only *trail* and may be deferred via
         # stale_sink for readers still pinning the old layout.
         if os.path.exists(path):
-            os.remove(path)
+            try:
+                os.remove(path)
+            except OSError as exc:
+                raise StorageError(
+                    f"cannot remove shadowed monolith {path!r}: {exc}"
+                ) from exc
         _remove_stale_shards(path, len(groups), stale_sink)
         return total, files
 
@@ -397,7 +409,12 @@ def _remove_stale_shards(
         if stale_sink is not None:
             stale_sink.append(f"{path}.{i}")
         else:
-            os.remove(f"{path}.{i}")
+            try:
+                os.remove(f"{path}.{i}")
+            except OSError as exc:
+                raise StorageError(
+                    f"cannot remove stale shard {path}.{i}: {exc}"
+                ) from exc
         i += 1
 
 
@@ -418,7 +435,7 @@ class Segment:
         #: mapped file size in bytes (what this handle costs a memory budget)
         self.nbytes = len(mm)
         self._refs = 1
-        self._lock = threading.Lock()
+        self._lock = lockcheck.make_lock("segment.refs")
 
     # -- sharing / lifecycle -------------------------------------------------
 
@@ -472,6 +489,7 @@ class Segment:
         ``verify=True`` additionally checksums every section (eager read),
         raising :class:`StorageError` on the first mismatch.
         """
+        lockcheck.note_io(f"segment.open:{os.path.basename(path)}")
         try:
             fh = open(path, "rb")
         except OSError as exc:
@@ -537,7 +555,10 @@ class Segment:
                             f"does not match dtype/shape ({expected} bytes)"
                         )
                 sections[name] = record
-            mm = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+            try:
+                mm = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+            except OSError as exc:
+                raise StorageError(f"cannot map segment {path!r}: {exc}") from exc
         seg = cls(path, sections, mm)
         if verify:
             try:
@@ -646,7 +667,7 @@ class ShardedSegment:
         #: same token or they belong to a different (interrupted) flush
         self._flush_token = flush_token
         self._refs = 1
-        self._lock = threading.Lock()
+        self._lock = lockcheck.make_lock("sharded_segment.refs")
 
     @classmethod
     def open(cls, path: str, verify: bool = False) -> "ShardedSegment":

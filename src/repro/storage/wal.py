@@ -73,16 +73,24 @@ class WriteAheadLog:
         self._sync = sync
         self._fh: io.TextIOWrapper | None = None
         if path is not None:
-            os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
-            self._fh = open(path, "a", encoding="utf-8")
+            try:
+                os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+                self._fh = open(path, "a", encoding="utf-8")
+            except OSError as exc:
+                raise StorageError(f"cannot open WAL at {path!r}: {exc}") from exc
 
     def append(self, record: InvocationRecord) -> None:
         self._records.append(record)
         if self._fh is not None:
-            self._fh.write(record.to_json() + "\n")
-            self._fh.flush()
-            if self._sync:
-                os.fsync(self._fh.fileno())
+            try:
+                self._fh.write(record.to_json() + "\n")
+                self._fh.flush()
+                if self._sync:
+                    os.fsync(self._fh.fileno())
+            except OSError as exc:
+                raise StorageError(
+                    f"WAL append to {self._path!r} failed: {exc}"
+                ) from exc
 
     def records(self) -> list[InvocationRecord]:
         return list(self._records)
@@ -121,8 +129,11 @@ class WriteAheadLog:
         """
         records = []
         raw = ""
-        with open(path, encoding="utf-8") as fh:
-            raw = fh.read()
+        try:
+            with open(path, encoding="utf-8") as fh:
+                raw = fh.read()
+        except OSError as exc:
+            raise StorageError(f"cannot replay WAL at {path!r}: {exc}") from exc
         for line in raw.splitlines():
             line = line.strip()
             if line:

@@ -21,7 +21,7 @@ from repro.core.lineage_store import (
 )
 from repro.errors import StorageError
 from repro.storage import codecs
-from repro.storage.codecs import BITMAP, DELTA, INTERVAL, RAW, BatchProbe
+from repro.storage.codecs import BatchProbe
 
 
 def arr_of(values) -> np.ndarray:

@@ -7,7 +7,6 @@ from repro import (
     BLACKBOX,
     COMP_ONE_B,
     FULL_ONE_B,
-    MAP,
     SubZero,
 )
 from repro.bench.astronomy import (
@@ -15,7 +14,6 @@ from repro.bench.astronomy import (
     UDF_NODES,
     AstronomyBenchmark,
     CosmicRayDetect,
-    StarDetect,
     generate_images,
 )
 from repro.core.modes import LineageMode

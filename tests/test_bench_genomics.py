@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro import (
-    BLACKBOX,
     FULL_ONE_B,
     FULL_ONE_F,
     PAY_ONE_B,

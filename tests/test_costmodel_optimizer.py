@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import SciArray, SubZero
-from repro.core.costmodel import CostConstants, CostModel
+from repro.core.costmodel import CostModel
 from repro.core.model import Direction, LineageQuery
 from repro.core.modes import (
     BLACKBOX,
@@ -15,7 +15,6 @@ from repro.core.modes import (
     FULL_ONE_F,
     MAP,
     PAY_ONE_B,
-    LineageMode,
 )
 from repro.core.optimizer import (
     StrategyOptimizer,

@@ -1,14 +1,11 @@
 """Tests for the benchmark harness configs and the result-table renderer."""
 
-import numpy as np
 import pytest
 
 from repro.bench.harness import (
     ASTRONOMY_CONFIGS,
     GENOMICS_CONFIGS,
     MICRO_CONFIGS,
-    astronomy_table,
-    genomics_table,
     micro_overhead_table,
     micro_query_table,
     run_micro,

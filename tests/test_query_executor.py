@@ -5,17 +5,14 @@ import numpy as np
 import pytest
 
 from repro import (
-    BLACKBOX,
     FULL_ONE_B,
     FULL_ONE_F,
-    MAP,
     PAY_ONE_B,
     SciArray,
     SubZero,
     WorkflowSpec,
     ops,
 )
-from repro.core.modes import LineageMode, Orientation, StorageStrategy
 from repro.errors import QueryError
 from tests.conftest import SpotUDF, build_spot_spec
 

@@ -7,7 +7,6 @@ direction mix-ups) that fixed pipelines would not.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -6,7 +6,6 @@ import pytest
 
 from repro import (
     BLACKBOX,
-    COMP_ONE_B,
     FULL_ONE_B,
     MAP,
     PAY_ONE_B,

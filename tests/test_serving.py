@@ -499,7 +499,8 @@ class TestManifestAtomicity:
             raise OSError("disk full mid-write")
 
         monkeypatch.setattr(json, "dump", crashing_dump)
-        with pytest.raises(OSError, match="disk full"):
+        # the storage boundary wraps the raw OSError (invariant SZ004)
+        with pytest.raises(StorageError, match="disk full"):
             catalog.save_manifest()
         monkeypatch.setattr(json, "dump", real_dump)
 

@@ -1,6 +1,5 @@
 """Tests for the SubZero facade: strategy plumbing, accounting, re-runs."""
 
-import numpy as np
 import pytest
 
 from repro import (
