@@ -16,7 +16,7 @@ answers queries fastest, BlackBox slowest; FQ0 vastly beats FQ0Slow.
 
 import pytest
 
-from repro import COMP_ONE_B, SubZero
+from repro import COMP_ONE_B, QueryRequest, SubZero
 from repro.bench.astronomy import UDF_NODES, AstronomyBenchmark
 from repro.bench.harness import ASTRONOMY_CONFIGS, astronomy_table, run_astronomy
 
@@ -86,8 +86,9 @@ def test_fig5b_subzero_queries(benchmark, subzero_live, query):
 def test_fig5b_fq0_slow(benchmark, subzero_live):
     """FQ0 without the entire-array optimization (the 83x ablation)."""
     sz, queries = subzero_live
+    slow_fq0 = QueryRequest.from_query(queries["FQ0"], entire_array=False)
     result = benchmark.pedantic(
-        lambda: sz.execute_query(queries["FQ0"], enable_entire_array=False),
+        lambda: sz.query(slow_fq0),
         rounds=1,
         iterations=1,
     )

@@ -15,6 +15,12 @@ its acceptance bars:
   store and answer its first matched and first mismatched query, from a
   monolithic segment vs a sharded ``.seg.0..k`` flush — plus how many
   shard files the sharded path actually mapped.
+* **daemon QPS / latency percentiles** (``BENCH_daemon.json``): N client
+  threads drive the network daemon over HTTP, measuring queries/s and
+  p50/p99 latency with every answer checked against the in-process
+  baseline; a second overload phase floods a one-slot gate and asserts
+  the daemon sheds the excess with 429 (explicit backpressure) instead
+  of buffering it.
 
 Run with::
 
@@ -22,6 +28,7 @@ Run with::
 """
 
 import os
+import threading
 import time
 
 import numpy as np
@@ -31,6 +38,7 @@ from repro import (
     FULL_MANY_B,
     FULL_ONE_B,
     PAY_ONE_B,
+    QueryRequest,
     SciArray,
     SubZero,
     WorkflowSpec,
@@ -40,6 +48,8 @@ from repro.bench.report import ResultTable, write_bench_json
 from repro.core.catalog import StoreCatalog
 from repro.core.lineage_store import make_store
 from repro.core.model import Direction, LineageQuery, QueryStep
+from repro.errors import QueueFullError
+from repro.serving import DaemonClient, QueryDaemon, ServingLimits, canonical_result
 
 from conftest import FULL
 
@@ -56,6 +66,8 @@ N_QUERIES = 144 if FULL else 72
 CELLS_PER_QUERY = 48
 THREADS = (1, 2, 4, 8)
 SHARD_THRESHOLD = 4096
+N_CLIENTS = 8
+OVERLOAD_CLIENTS = 32
 
 
 def _spec() -> WorkflowSpec:
@@ -273,6 +285,145 @@ def test_shard_vs_monolith_cold_open(benchmark, serving_workload, tmp_path_facto
             round(shard["scan"] * 1e3, 3),
         )
         out.print()
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+class _SlowEngine:
+    """Engine wrapper pinning each query's service time, so the one-slot
+    overload phase behaves the same on fast and slow machines."""
+
+    def __init__(self, engine: SubZero, delay: float):
+        self._engine = engine
+        self._delay = delay
+
+    def query(self, request: QueryRequest):
+        time.sleep(self._delay)
+        return self._engine.query(request)
+
+
+@pytest.mark.benchmark(group="serving")
+def test_daemon_qps_latency_and_backpressure(benchmark, serving_workload):
+    """Client-driven daemon bench: 8 client threads push the full mixed
+    workload over HTTP (QPS + p50/p99 latency, every answer checked against
+    the in-process baseline), then 32 one-shot clients flood a one-slot
+    gate and the daemon must shed the excess with 429 — never buffer it."""
+    requests = [QueryRequest.from_query(q) for q in serving_workload["queries"]]
+    baseline = serving_workload["baseline"]
+
+    latencies: list[float] = []
+    mismatches: list[int] = []
+    errors: list[tuple[int, str]] = []
+    side_lock = threading.Lock()  # szlint: ignore[SZ005] -- bench-local result collection, not engine state
+
+    with _engine(serving_workload) as sz, QueryDaemon(sz) as daemon:
+        host, port = daemon.address
+        DaemonClient(host, port).wait_ready()
+
+        def client(worker: int) -> None:
+            me = DaemonClient(host, port, client_id=f"bench-{worker}")
+            local: list[float] = []
+            for i in range(worker, len(requests), N_CLIENTS):
+                start = time.perf_counter()
+                try:
+                    canon = me.query_canonical(requests[i])
+                except Exception as exc:  # noqa: BLE001 - tallied, then asserted zero
+                    with side_lock:
+                        errors.append((i, repr(exc)))
+                    continue
+                local.append(time.perf_counter() - start)
+                if sorted(map(tuple, canon["coords"])) != baseline[i]:
+                    with side_lock:
+                        mismatches.append(i)
+            with side_lock:
+                latencies.extend(local)
+
+        threads = [
+            threading.Thread(target=client, args=(w,)) for w in range(N_CLIENTS)
+        ]
+        wall = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall = time.perf_counter() - wall
+
+    qps = len(latencies) / wall if latencies else 0.0
+    p50 = float(np.percentile(latencies, 50)) * 1e3 if latencies else 0.0
+    p99 = float(np.percentile(latencies, 99)) * 1e3 if latencies else 0.0
+
+    # overload phase: one execution slot, two queue seats, a 20 ms service
+    # time — 32 simultaneous one-shot clients cannot all fit, and the
+    # backpressure contract says the excess is refused loudly (429), not
+    # absorbed into an unbounded buffer
+    limits = ServingLimits(
+        max_inflight=1,
+        max_queue=2,
+        max_per_client=OVERLOAD_CLIENTS,
+        queue_timeout_seconds=0.05,
+    )
+    outcomes: list[str] = []
+    with _engine(serving_workload) as sz2:
+        with QueryDaemon(_SlowEngine(sz2, delay=0.02), limits=limits) as daemon:
+            host, port = daemon.address
+            DaemonClient(host, port).wait_ready()
+
+            def one_shot(worker: int) -> None:
+                me = DaemonClient(host, port, client_id=f"flood-{worker}")
+                try:
+                    me.query(requests[worker % len(requests)])
+                    verdict = "ok"
+                except QueueFullError:
+                    verdict = "shed"
+                except Exception as exc:  # noqa: BLE001 - surfaced via overload_bounded
+                    verdict = f"error:{exc!r}"
+                with side_lock:
+                    outcomes.append(verdict)
+
+            flood = [
+                threading.Thread(target=one_shot, args=(w,))
+                for w in range(OVERLOAD_CLIENTS)
+            ]
+            for t in flood:
+                t.start()
+            for t in flood:
+                t.join()
+            rejected = daemon.gate.stats()["rejected"]
+
+    served = outcomes.count("ok")
+    shed = outcomes.count("shed")
+    metrics = {
+        # wall-clock numbers are informational (machine-dependent, not
+        # baselined); the structural indicators below are the gate
+        "daemon_qps": round(qps, 2),
+        "daemon_p50_ms": round(p50, 3),
+        "daemon_p99_ms": round(p99, 3),
+        "answers_match": int(not mismatches and not errors),
+        "daemon_errors": len(errors) + len(mismatches),
+        "queue_full_seen": int(shed > 0),
+        "overload_served": int(served > 0),
+        "overload_bounded": int(served + shed == OVERLOAD_CLIENTS),
+    }
+    # publish BEFORE asserting, same as the thread-scaling bench above
+    write_bench_json("daemon", metrics)
+    assert metrics["answers_match"] == 1, (errors[:5], mismatches[:5])
+    assert metrics["daemon_errors"] == 0
+    assert metrics["queue_full_seen"] == 1, outcomes
+    assert metrics["overload_served"] == 1, outcomes
+    assert metrics["overload_bounded"] == 1, outcomes
+    assert rejected == shed  # every client-visible 429 is an explicit gate rejection
+
+    def run():
+        table = ResultTable(
+            title=(
+                f"daemon over HTTP, {len(requests)} queries x "
+                f"{N_CLIENTS} clients ({os.cpu_count()} cpus)"
+            ),
+            columns=["phase", "clients", "queries/s", "p50 ms", "p99 ms", "shed"],
+        )
+        table.add_row("steady", N_CLIENTS, round(qps, 1), round(p50, 2), round(p99, 2), 0)
+        table.add_row("overload", OVERLOAD_CLIENTS, "-", "-", "-", shed)
+        table.print()
 
     benchmark.pedantic(run, rounds=1, iterations=1)
 

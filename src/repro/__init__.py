@@ -51,7 +51,13 @@ from repro.core.optimizer import (
     StrategyOptimizer,
     WorkloadProfile,
 )
-from repro.core.query import QueryExecutor, QueryResult, QuerySession, StepStats
+from repro.core.query import (
+    QueryExecutor,
+    QueryRequest,
+    QueryResult,
+    QuerySession,
+    StepStats,
+)
 from repro.core.runtime import LineageRuntime
 from repro.core.stats import OperatorStats, StatsCollector
 from repro.core.subzero import SubZero
@@ -115,6 +121,7 @@ __all__ = [
     # engine pieces
     "LineageRuntime",
     "QueryExecutor",
+    "QueryRequest",
     "QueryResult",
     "QuerySession",
     "StepStats",

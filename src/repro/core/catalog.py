@@ -10,18 +10,24 @@ no decode — so serving a single backward query over a hundred-store
 workflow touches one segment, not a hundred.
 
 Since the concurrent-serving refactor the catalog is also a **thread-safe,
-LRU-bounded open-store cache**:
+budget-bounded open-store cache**:
 
 * :meth:`StoreCatalog.borrow` / :meth:`StoreCatalog.release` hand out
   *pinned* references — the unit :class:`~repro.core.query.QuerySession`
   builds on.  A pinned store is never closed under a reader.
-* ``memory_budget_bytes`` caps the resident segment bytes.  When an open
-  pushes the cache over budget, unpinned stores are evicted in LRU order
-  and their shared mappings closed
+* ``memory_budget_bytes`` caps the resident segment bytes.  Eviction is
+  **scan-resistant 2Q** (the serving-daemon upgrade over the original
+  plain LRU): a first-touch store enters a probationary FIFO and is the
+  first eviction victim; a re-reference promotes it to a protected LRU
+  tier; and a bounded *ghost* queue remembers recently evicted keys, so a
+  store that returns after eviction is admitted straight to protected.
+  Net effect: a one-off analytical sweep over the whole catalog churns
+  only its own probationary admissions and cannot evict the hot working
+  set.  Evicted stores' shared mappings are closed
   (:meth:`~repro.core.lineage_store.OpLineageStore.close`).  Pinned stores
   are never victims — the cache may transiently exceed the budget by the
   pinned working set — but the budget is re-checked at every release, so
-  a store the LRU wants gone closes the moment its last pin drops.
+  a store the policy wants gone closes the moment its last pin drops.
 * Hit/miss/evict counters and the open-mapping count are exported via
   :meth:`stats` so serving regressions show up in benchmarks and
   ``QueryResult.explain()``.
@@ -184,6 +190,9 @@ class _OpenStore:
     store: OpLineageStore | None
     nbytes: int
     pins: int = 0
+    #: 2Q tier: first-touch stores sit in ``probation`` (FIFO, first
+    #: eviction victims); a re-reference promotes to ``protected`` (LRU)
+    tier: str = "probation"
     #: set when the LRU evicted this record (it has left the cache)
     evicted: bool = False
     #: True once the backing mapping was closed
@@ -213,8 +222,8 @@ class _OpenStore:
 
 
 class StoreCatalog:
-    """Lazy-open, LRU-bounded, thread-safe view over a flushed workflow's
-    lineage segments (see module docstring)."""
+    """Lazy-open, budget-bounded (2Q), thread-safe view over a flushed
+    workflow's lineage segments (see module docstring)."""
 
     def __init__(
         self,
@@ -246,8 +255,17 @@ class StoreCatalog:
         #: append's flush.  Readers are untouched: borrows only take
         #: ``_lock`` for cache bookkeeping.
         self._maintenance_lock = lockcheck.make_lock("catalog.maintenance")
-        #: LRU cache of open stores, most-recently-used last
+        #: open-store cache with 2Q admission: ``probation`` records keep
+        #: their insertion (FIFO) order because only a promotion moves a
+        #: key to the end, so iteration order doubles as eviction order —
+        #: probationary first-touch stores in arrival order, then
+        #: ``protected`` re-referenced stores least-recently-used first
         self._open: "OrderedDict[tuple[str, StorageStrategy], _OpenStore]" = OrderedDict()
+        #: 2Q ghost queue: keys recently evicted, remembered without data.
+        #: A miss that hits the ghost is a re-reference across an eviction
+        #: and admits straight to the protected tier — the scan-resistance
+        #: half-life.  Bounded; oldest forgotten first.
+        self._ghost: "OrderedDict[tuple[str, StorageStrategy], None]" = OrderedDict()
         #: records evicted while pinned: out of the cache, not yet closed
         self._lingering: list[_OpenStore] = []
         #: files superseded by a compaction while readers still held the old
@@ -259,6 +277,8 @@ class StoreCatalog:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._promotions = 0
+        self._ghost_hits = 0
 
     # -- writing -------------------------------------------------------------
 
@@ -814,6 +834,10 @@ class StoreCatalog:
         with self._lock:
             record = self._open.get(key)
             if record is not None:
+                if record.tier == "probation":
+                    # 2Q promotion: the second touch proves re-reference
+                    record.tier = "protected"
+                    self._promotions += 1
                 self._open.move_to_end(key)
                 record.pins += 1
                 self._hits += 1
@@ -822,11 +846,19 @@ class StoreCatalog:
                 if not generations:
                     return None
                 self._misses += 1
+                tier = "probation"
+                if key in self._ghost:
+                    # re-reference across an eviction: the ghost remembers
+                    # this key was here recently, so admit it protected
+                    del self._ghost[key]
+                    self._ghost_hits += 1
+                    tier = "protected"
                 record = _OpenStore(
                     key=key,
                     store=None,
                     nbytes=sum(e.nbytes for e in generations),
                     pins=1,
+                    tier=tier,
                 )
                 self._open[key] = record
                 load_entries = generations  # this thread inserted the placeholder
@@ -929,9 +961,10 @@ class StoreCatalog:
     # -- eviction ------------------------------------------------------------
 
     def _evict_over_budget(self, exclude: _OpenStore | None = None) -> list[str]:
-        """Evict (LRU first) until resident bytes fit the budget; returns
-        the deferred-unlink paths the evictions released (the caller
-        reclaims them after dropping the lock).
+        """Evict (2Q order: probation FIFO, then protected LRU) until
+        resident bytes fit the budget; returns the deferred-unlink paths
+        the evictions released (the caller reclaims them after dropping
+        the lock).
 
         Only *unpinned* records are eligible — classic buffer-pool
         semantics: borrowed stores stay shared and mapped, and the cache
@@ -947,17 +980,40 @@ class StoreCatalog:
             return unlinkable
         while self._resident_bytes_locked() > budget:
             victim_key = None
-            for key, record in self._open.items():  # LRU order
-                if record.pins <= 0 and record is not exclude:
-                    victim_key = key
+            # 2Q victim order: probationary (never re-referenced) stores go
+            # first, in FIFO arrival order — a one-off scan churns only its
+            # own admissions.  Protected stores are plain LRU and fall only
+            # when no unpinned probationary victim remains.
+            for wanted_tier in ("probation", "protected"):
+                for key, record in self._open.items():
+                    if (
+                        record.tier == wanted_tier
+                        and record.pins <= 0
+                        and record is not exclude
+                    ):
+                        victim_key = key
+                        break
+                if victim_key is not None:
                     break
             if victim_key is None:
                 break  # everything left is pinned; retry at next release
             record = self._open.pop(victim_key)
             record.evicted = True
             self._evictions += 1
+            self._remember_ghost_locked(victim_key)
             unlinkable.extend(self._close_record_locked(record))
         return unlinkable
+
+    def _remember_ghost_locked(self, key: tuple[str, StorageStrategy]) -> None:
+        """Push an evicted key onto the bounded ghost queue (oldest
+        forgotten first).  Capacity scales with the catalog so one sweep
+        over every store cannot wash out the re-reference memory.
+        Callers hold the lock."""
+        self._ghost[key] = None
+        self._ghost.move_to_end(key)
+        capacity = max(16, 2 * len(self._entries))
+        while len(self._ghost) > capacity:
+            self._ghost.popitem(last=False)
 
     def _close_record_locked(self, record: _OpenStore) -> list[str]:
         """Close a record's mapping and return the deferred-unlink paths
@@ -1042,6 +1098,8 @@ class StoreCatalog:
                 "hits": self._hits,
                 "misses": self._misses,
                 "evictions": self._evictions,
+                "promotions": self._promotions,
+                "ghost_hits": self._ghost_hits,
                 "open_mappings": len(self._open) + len(self._lingering),
                 "resident_bytes": self._resident_bytes_locked(),
             }

@@ -28,7 +28,7 @@ cannot race a cache fill.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -39,11 +39,215 @@ from repro.core.model import Direction, Frontier, LineageQuery, QueryStep
 from repro.core.modes import BLACKBOX, LineageMode, Orientation, StorageStrategy
 from repro.core.reexec import ReExecutor
 from repro.core.runtime import LineageRuntime
-from repro.errors import QueryError
+from repro.errors import CoordinateError, QueryError
 from repro.ops.base import Operator
 from repro.workflow.instance import WorkflowInstance
 
-__all__ = ["QueryExecutor", "QueryResult", "QuerySession", "StepStats"]
+__all__ = [
+    "QueryExecutor",
+    "QueryRequest",
+    "QueryResult",
+    "QuerySession",
+    "StepStats",
+    "REQUEST_SCHEMA_VERSION",
+    "RESULT_SCHEMA_VERSION",
+]
+
+#: version stamped into ``QueryRequest.to_dict()`` / parsed by ``from_dict``;
+#: bump only on a breaking change to the field set (additive fields with
+#: defaults do not need a bump — ``from_dict`` ignores unknown keys)
+REQUEST_SCHEMA_VERSION = 1
+#: version stamped into ``QueryResult.to_dict()`` — the wire format the
+#: serving daemon returns; documented field-by-field in docs/serving.md
+RESULT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One lineage query as a frozen, serializable value.
+
+    This is the public query surface — the same object drives the embedded
+    API (:meth:`SubZero.query <repro.core.subzero.SubZero.query>`), batch
+    serving (:meth:`SubZero.serve`), and the network daemon
+    (:mod:`repro.serving`): ``request -> to_dict() -> JSON -> from_dict()``
+    round-trips losslessly, so an embedded and a networked caller are
+    provably issuing the *same* query.
+
+    The traversal is given either as an explicit ``path`` (the paper's
+    ``((P1, idx1), ..., (Pm, idxm))``) or as ``start``/``end`` endpoints
+    resolved against the workflow spec at execution time (the shortest
+    dataflow route, like ``trace_back``/``trace_forward``).  Exactly one
+    of the two forms must be set.
+
+    ``entire_array`` / ``query_opt`` override the engine's §VI-C / §VII-A
+    optimizations for this request only; ``None`` keeps the engine default.
+    """
+
+    direction: str
+    cells: tuple[tuple[int, ...], ...]
+    path: tuple[tuple[str, int], ...] | None = None
+    start: str | None = None
+    end: str | None = None
+    entire_array: bool | None = None
+    query_opt: bool | None = None
+
+    def __post_init__(self) -> None:
+        direction = self.direction
+        if isinstance(direction, Direction):
+            direction = direction.value
+        if direction not in (Direction.BACKWARD.value, Direction.FORWARD.value):
+            raise QueryError(
+                f"direction must be 'backward' or 'forward', got {self.direction!r}"
+            )
+        object.__setattr__(self, "direction", direction)
+        cells = _coerce_cells(self.cells)
+        if cells.shape[0] == 0:
+            raise QueryError("a query request needs at least one cell")
+        object.__setattr__(
+            self, "cells", tuple(tuple(int(v) for v in row) for row in cells)
+        )
+        if self.path is not None:
+            steps = tuple(_as_step(s) for s in self.path)
+            if not steps:
+                raise QueryError("an explicit path must be non-empty")
+            object.__setattr__(
+                self, "path", tuple((s.node, s.input_idx) for s in steps)
+            )
+        has_endpoints = self.start is not None or self.end is not None
+        if (self.path is None) == (not has_endpoints):
+            raise QueryError(
+                "a query request carries either an explicit path or "
+                "start/end endpoints, not both"
+            )
+        if has_endpoints and (self.start is None or self.end is None):
+            raise QueryError("endpoint requests need both start and end")
+        for flag in ("entire_array", "query_opt"):
+            value = getattr(self, flag)
+            if value is not None and not isinstance(value, bool):
+                raise QueryError(f"{flag} must be True, False, or None")
+
+    # -- convenience constructors -------------------------------------------
+
+    @classmethod
+    def backward(cls, cells, path=None, *, start=None, end=None, **flags) -> "QueryRequest":
+        return cls(Direction.BACKWARD.value, _freeze_cells(cells), _freeze_path(path),
+                   start=start, end=end, **flags)
+
+    @classmethod
+    def forward(cls, cells, path=None, *, start=None, end=None, **flags) -> "QueryRequest":
+        return cls(Direction.FORWARD.value, _freeze_cells(cells), _freeze_path(path),
+                   start=start, end=end, **flags)
+
+    # -- wire format --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The versioned JSON-ready form (schema ``subzero.request`` v1).
+
+        Optional fields that hold their default are omitted, so the wire
+        form of a plain path query stays minimal and stable.
+        """
+        obj: dict = {
+            "v": REQUEST_SCHEMA_VERSION,
+            "direction": self.direction,
+            "cells": [list(c) for c in self.cells],
+        }
+        if self.path is not None:
+            obj["path"] = [[node, idx] for node, idx in self.path]
+        if self.start is not None:
+            obj["start"] = self.start
+            obj["end"] = self.end
+        if self.entire_array is not None:
+            obj["entire_array"] = self.entire_array
+        if self.query_opt is not None:
+            obj["query_opt"] = self.query_opt
+        return obj
+
+    @classmethod
+    def from_dict(cls, obj) -> "QueryRequest":
+        """Parse :meth:`to_dict` output; raises :class:`QueryError` on a
+        malformed or newer-versioned payload.  Unknown keys are ignored
+        (additive schema evolution)."""
+        if not isinstance(obj, dict):
+            raise QueryError(f"query request must be an object, got {type(obj).__name__}")
+        version = obj.get("v", REQUEST_SCHEMA_VERSION)
+        if not isinstance(version, int) or version > REQUEST_SCHEMA_VERSION:
+            raise QueryError(
+                f"query request schema v{version!r} is newer than supported "
+                f"v{REQUEST_SCHEMA_VERSION}"
+            )
+        try:
+            path = obj.get("path")
+            return cls(
+                direction=obj["direction"],
+                cells=tuple(tuple(int(v) for v in c) for c in obj["cells"]),
+                path=tuple((str(n), int(i)) for n, i in path) if path is not None else None,
+                start=obj.get("start"),
+                end=obj.get("end"),
+                entire_array=obj.get("entire_array"),
+                query_opt=obj.get("query_opt"),
+            )
+        except QueryError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise QueryError(f"malformed query request: {exc}") from exc
+
+    # -- resolution ---------------------------------------------------------
+
+    def to_query(self, spec) -> LineageQuery:
+        """Resolve to the executable :class:`LineageQuery`, inferring the
+        path from the endpoints (shortest dataflow route over ``spec``)
+        when this request carries them."""
+        if self.path is not None:
+            path = self.path
+        elif self.direction == Direction.BACKWARD.value:
+            path = tuple(spec.lineage_path(self.start, self.end))
+        else:
+            # forward: start names the source/input, end the target node
+            path = tuple(reversed(spec.lineage_path(self.end, self.start)))
+        return LineageQuery(
+            cells=np.asarray(self.cells, dtype=np.int64),
+            path=tuple(QueryStep(node, idx) for node, idx in path),
+            direction=Direction(self.direction),
+        )
+
+    @classmethod
+    def from_query(cls, query: LineageQuery, **flags) -> "QueryRequest":
+        """Lift an executable :class:`LineageQuery` into the serializable
+        request form (the inverse of :meth:`to_query` for explicit paths).
+        ``flags`` set the per-request overrides, e.g.
+        ``from_query(q, entire_array=False)``."""
+        return cls(
+            direction=query.direction,
+            cells=_freeze_cells(query.cells),
+            path=tuple((s.node, s.input_idx) for s in query.path),
+            **flags,
+        )
+
+    def with_overrides(self, **fields) -> "QueryRequest":
+        """A copy with the given fields replaced (requests are frozen)."""
+        return replace(self, **fields)
+
+
+def _coerce_cells(cells) -> np.ndarray:
+    """Cells to an (n, ndim) int64 array; malformed cells are a
+    :class:`QueryError` (the request surface's error type), not a bare
+    coordinate error."""
+    try:
+        return C.as_coord_array(cells)
+    except CoordinateError as exc:
+        raise QueryError(f"invalid query cells: {exc}") from exc
+
+
+def _freeze_cells(cells) -> tuple[tuple[int, ...], ...]:
+    arr = _coerce_cells(cells)
+    return tuple(tuple(int(v) for v in row) for row in arr)
+
+
+def _freeze_path(path) -> tuple[tuple[str, int], ...] | None:
+    if path is None:
+        return None
+    steps = tuple(_as_step(s) for s in path)
+    return tuple((s.node, s.input_idx) for s in steps)
 
 
 class QuerySession:
@@ -151,6 +355,20 @@ class StepStats:
     #: clipping used to mask
     dropped_cells: int = 0
 
+    def to_dict(self) -> dict:
+        """JSON-ready form; part of the ``QueryResult.to_dict`` schema."""
+        return {
+            "node": self.node,
+            "direction": self.direction.value,
+            "method": self.method,
+            "seconds": self.seconds,
+            "cells_in": self.cells_in,
+            "cells_out": self.cells_out,
+            "switched_to_blackbox": self.switched_to_blackbox,
+            "shortcut": self.shortcut,
+            "dropped_cells": self.dropped_cells,
+        }
+
 
 @dataclass
 class QueryResult:
@@ -173,6 +391,27 @@ class QueryResult:
     @property
     def seconds(self) -> float:
         return sum(s.seconds for s in self.steps)
+
+    def to_dict(self) -> dict:
+        """The versioned JSON-ready form (schema ``subzero.result`` v1) —
+        the wire format the serving daemon returns, documented field by
+        field in docs/serving.md.
+
+        Deterministic fields — ``shape``, ``count``, ``coords`` (row-major
+        scan order of the final frontier), and the structural step fields —
+        are identical for identical requests against identical lineage;
+        ``seconds`` (wall clock) and ``cache`` (serving-cache snapshot) are
+        run diagnostics and excluded from any equivalence comparison
+        (:func:`repro.serving.protocol.canonical_result`)."""
+        return {
+            "v": RESULT_SCHEMA_VERSION,
+            "shape": list(self.frontier.shape),
+            "count": self.count,
+            "coords": self.coords.tolist(),
+            "seconds": self.seconds,
+            "steps": [s.to_dict() for s in self.steps],
+            "cache": self.cache,
+        }
 
     def explain(self) -> str:
         """Human-readable per-step execution report (EXPLAIN ANALYZE-style)."""
@@ -243,6 +482,22 @@ class QueryExecutor:
             direction=Direction.FORWARD,
         )
         return self.execute(query, **overrides)
+
+    def execute_request(
+        self, request: QueryRequest, session: QuerySession | None = None
+    ) -> QueryResult:
+        """Run one :class:`QueryRequest` — the serializable surface the
+        embedded API, ``serve()``, and the network daemon all share.
+        Endpoint requests are resolved against the executed workflow's
+        spec; ``entire_array``/``query_opt`` override the engine defaults
+        for this request only."""
+        query = request.to_query(self.instance.spec)
+        return self.execute(
+            query,
+            enable_entire_array=request.entire_array,
+            enable_query_opt=request.query_opt,
+            session=session,
+        )
 
     def execute(
         self,

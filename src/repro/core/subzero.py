@@ -25,6 +25,7 @@ never closes a mapping under a pinned session.
 from __future__ import annotations
 
 import threading
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from typing import Mapping, Sequence
 
@@ -39,7 +40,7 @@ from repro.core.optimizer import (
     StrategyOptimizer,
     WorkloadProfile,
 )
-from repro.core.query import QueryExecutor, QueryResult, QuerySession
+from repro.core.query import QueryExecutor, QueryRequest, QueryResult, QuerySession
 from repro.core.runtime import LineageRuntime
 from repro.core.stats import StatsCollector
 from repro.errors import QueryError, WorkflowError
@@ -294,32 +295,47 @@ class SubZero:
         return QuerySession(self.runtime)
 
     def serve(
-        self, queries: Sequence[LineageQuery], max_workers: int = 4
+        self,
+        queries: Sequence[LineageQuery | QueryRequest],
+        max_workers: int = 4,
     ) -> list[QueryResult]:
         """Execute a batch of lineage queries on a thread pool.
 
+        Accepts :class:`~repro.core.query.QueryRequest` objects (the
+        serializable surface the network daemon speaks) and legacy
+        :class:`~repro.core.model.LineageQuery` values interchangeably.
         Results come back in input order.  Each worker thread runs queries
         through its own :class:`~repro.core.query.QuerySession`, so all
         threads share one mmap per store (open-once/share-many) and the
         memory budget's eviction never closes a store under a reader.
+        ``max_workers <= 1`` runs sequentially — through one session, so a
+        single-worker batch gets the same pinning (no eviction churn
+        mid-batch) as the threaded path.
         """
         executor = self._require_executor()
         if not queries:
             return []
+
+        def run_one(query, session: QuerySession) -> QueryResult:
+            if isinstance(query, QueryRequest):
+                return executor.execute_request(query, session=session)
+            return executor.execute(query, session=session)
+
         if max_workers <= 1:
-            return [executor.execute(q) for q in queries]
+            with QuerySession(self.runtime) as session:
+                return [run_one(q, session) for q in queries]
         local = threading.local()
         sessions: list[QuerySession] = []
         sessions_lock = lockcheck.make_lock("subzero.serve.sessions")
 
-        def run(query: LineageQuery) -> QueryResult:
+        def run(query) -> QueryResult:
             session = getattr(local, "session", None)
             if session is None:
                 session = QuerySession(self.runtime)
                 local.session = session
                 with sessions_lock:
                     sessions.append(session)
-            return executor.execute(query, session=session)
+            return run_one(query, session)
 
         try:
             with ThreadPoolExecutor(
@@ -330,26 +346,100 @@ class SubZero:
             for session in sessions:
                 session.close()
 
-    def backward_query(self, cells, path, **overrides) -> QueryResult:
-        return self._require_executor().backward(cells, path, **overrides)
+    def query(
+        self, request: QueryRequest, session: QuerySession | None = None
+    ) -> QueryResult:
+        """Execute one :class:`~repro.core.query.QueryRequest` — the
+        canonical query entry point.
 
-    def forward_query(self, cells, path, **overrides) -> QueryResult:
-        return self._require_executor().forward(cells, path, **overrides)
+        The same frozen, serializable request object drives the embedded
+        API, :meth:`serve`, and the network daemon
+        (:mod:`repro.serving`), so ``sz.query(r)`` and a daemon answering
+        ``r.to_dict()`` over the wire are provably the same query."""
+        return self._require_executor().execute_request(request, session=session)
 
-    def execute_query(self, query: LineageQuery, **overrides) -> QueryResult:
-        return self._require_executor().execute(query, **overrides)
+    def backward_query(self, cells, path, session=None, **overrides) -> QueryResult:
+        """Backward query along an explicit path.  Convenience wrapper for
+        :meth:`query`; keyword overrides are deprecated — set the
+        corresponding :class:`QueryRequest` fields instead."""
+        fields = self._override_fields("backward_query", overrides)
+        return self.query(
+            QueryRequest.backward(cells, path, **fields), session=session
+        )
 
-    def trace_back(self, cells, from_node: str, to: str, **overrides) -> QueryResult:
+    def forward_query(self, cells, path, session=None, **overrides) -> QueryResult:
+        """Forward query along an explicit path (see :meth:`backward_query`)."""
+        fields = self._override_fields("forward_query", overrides)
+        return self.query(
+            QueryRequest.forward(cells, path, **fields), session=session
+        )
+
+    def execute_query(
+        self, query: LineageQuery | QueryRequest, session=None, **overrides
+    ) -> QueryResult:
+        """Execute a :class:`QueryRequest` (preferred) or a legacy
+        :class:`LineageQuery`.  Keyword overrides are deprecated in favor
+        of the request's ``entire_array``/``query_opt`` fields."""
+        if isinstance(query, QueryRequest):
+            fields = self._override_fields("execute_query", overrides)
+            if fields:
+                query = query.with_overrides(**fields)
+            return self.query(query, session=session)
+        fields = self._override_fields("execute_query", overrides)
+        return self._require_executor().execute(
+            query,
+            enable_entire_array=fields.get("entire_array"),
+            enable_query_opt=fields.get("query_opt"),
+            session=session,
+        )
+
+    def trace_back(self, cells, from_node: str, to: str, session=None, **overrides) -> QueryResult:
         """Backward query with the path inferred (shortest dataflow route
         from ``from_node``'s output back to node or source ``to``)."""
-        path = self.spec.lineage_path(from_node, to)
-        return self.backward_query(cells, path, **overrides)
+        fields = self._override_fields("trace_back", overrides)
+        return self.query(
+            QueryRequest.backward(cells, start=from_node, end=to, **fields),
+            session=session,
+        )
 
-    def trace_forward(self, cells, from_name: str, to_node: str, **overrides) -> QueryResult:
+    def trace_forward(self, cells, from_name: str, to_node: str, session=None, **overrides) -> QueryResult:
         """Forward query with the path inferred (``from_name`` may be a
         source or a node; the trace ends at ``to_node``'s output)."""
-        path = list(reversed(self.spec.lineage_path(to_node, from_name)))
-        return self.forward_query(cells, path, **overrides)
+        fields = self._override_fields("trace_forward", overrides)
+        return self.query(
+            QueryRequest.forward(cells, start=from_name, end=to_node, **fields),
+            session=session,
+        )
+
+    #: legacy ``**overrides`` kwarg -> QueryRequest field (the shim's map)
+    _OVERRIDE_FIELDS = {
+        "enable_entire_array": "entire_array",
+        "enable_query_opt": "query_opt",
+    }
+
+    @classmethod
+    def _override_fields(cls, method: str, overrides: Mapping) -> dict:
+        """Back-compat shim: map deprecated ``**overrides`` kwargs onto
+        :class:`QueryRequest` fields with a :class:`DeprecationWarning`;
+        reject unknown kwargs loudly (they used to vanish into the soup)."""
+        if not overrides:
+            return {}
+        fields = {}
+        for key, value in overrides.items():
+            replacement = cls._OVERRIDE_FIELDS.get(key)
+            if replacement is None:
+                raise TypeError(
+                    f"{method}() got an unexpected keyword argument {key!r}"
+                )
+            warnings.warn(
+                f"{method}(..., {key}=...) is deprecated; build a "
+                f"QueryRequest with {replacement}={value!r} instead "
+                "(the kwargs shim will be removed next release)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            fields[replacement] = value
+        return fields
 
     # -- optimization ----------------------------------------------------------------------
 

@@ -46,3 +46,16 @@ class QueryError(SubZeroError):
 
 class OptimizationError(SubZeroError):
     """The lineage-strategy optimizer could not produce a feasible plan."""
+
+
+class ProtocolError(SubZeroError):
+    """A wire request/response does not conform to the query protocol."""
+
+
+class QueueFullError(SubZeroError):
+    """The serving daemon's bounded request queue rejected a request.
+
+    The HTTP transport maps this to status 429; embedded callers of the
+    admission gate receive the exception itself.  Backpressure contract:
+    the daemon sheds load *explicitly* rather than buffering without bound.
+    """

@@ -1,0 +1,146 @@
+"""Client for the serving daemon (stdlib ``http.client`` only).
+
+:class:`DaemonClient` speaks the protocol of :mod:`repro.serving.protocol`
+and maps the daemon's HTTP statuses back onto the library's exception
+hierarchy, so a networked caller handles failures exactly like an embedded
+one: 429 raises :class:`~repro.errors.QueueFullError`, 400 raises
+:class:`~repro.errors.QueryError`, everything else unexpected raises
+:class:`~repro.errors.ProtocolError`.
+
+Connection establishment retries with linear backoff (a daemon that is
+still binding its socket looks like ``ConnectionRefusedError`` for a few
+milliseconds); errors *after* a connection was made are never retried —
+the daemon may have executed the query, and blind re-send would double
+side effects and load.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+from repro.core.query import QueryRequest
+from repro.errors import ProtocolError, QueryError, QueueFullError
+from repro.serving import protocol
+
+__all__ = ["DaemonClient"]
+
+
+class DaemonClient:
+    """One daemon endpoint, many calls; safe to share across threads
+    (every call opens its own connection — the daemon's admission gate,
+    not client-side pooling, is the concurrency control)."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        client_id: str | None = None,
+        timeout: float = 60.0,
+        connect_retries: int = 40,
+        connect_delay: float = 0.05,
+    ):
+        self.host = host
+        self.port = port
+        #: identity the daemon's per-client in-flight cap is keyed on;
+        #: defaults to the remote address when unset
+        self.client_id = client_id
+        self.timeout = timeout
+        self.connect_retries = connect_retries
+        self.connect_delay = connect_delay
+
+    # -- protocol calls ------------------------------------------------------
+
+    def query(self, request: QueryRequest) -> dict:
+        """Execute one request; returns the wire-form result dict
+        (``QueryResult.to_dict()`` schema — see docs/serving.md)."""
+        status, obj = self._call("POST", "/v1/query", protocol.dump_request(request))
+        if status == 200:
+            return obj
+        self._raise_for(status, obj)
+
+    def query_canonical(self, request: QueryRequest) -> dict:
+        """:meth:`query` reduced to its deterministic projection."""
+        return protocol.canonical_result(self.query(request))
+
+    def health(self) -> dict:
+        status, obj = self._call("GET", "/v1/health")
+        if status != 200:
+            self._raise_for(status, obj)
+        return obj
+
+    def stats(self) -> dict:
+        status, obj = self._call("GET", "/v1/stats")
+        if status != 200:
+            self._raise_for(status, obj)
+        return obj
+
+    def shutdown(self) -> None:
+        """Ask the daemon to stop (it drains in-flight queries first)."""
+        status, obj = self._call("POST", "/v1/shutdown", b"")
+        if status != 202:
+            self._raise_for(status, obj)
+
+    def wait_ready(self, timeout: float = 5.0) -> None:
+        """Block until the daemon answers ``/v1/health`` (startup races)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                self.health()
+                return
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(self.connect_delay)
+
+    # -- transport -----------------------------------------------------------
+
+    def _call(self, method: str, path: str, body: bytes | None = None):
+        conn = self._connect()
+        try:
+            headers = {"Content-Type": "application/json"}
+            if self.client_id is not None:
+                headers["X-SubZero-Client"] = self.client_id
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+        finally:
+            conn.close()
+        try:
+            obj = json.loads(data) if data else {}
+        except ValueError as exc:
+            raise ProtocolError(
+                f"daemon returned non-JSON body for {method} {path}: {exc}"
+            ) from exc
+        return response.status, obj
+
+    def _connect(self) -> http.client.HTTPConnection:
+        """Open a connection, retrying refusals while the daemon binds."""
+        last: OSError | None = None
+        for attempt in range(self.connect_retries + 1):
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            try:
+                conn.connect()
+                return conn
+            except ConnectionRefusedError as exc:
+                conn.close()
+                last = exc
+                if attempt < self.connect_retries:
+                    time.sleep(self.connect_delay)
+        raise ConnectionRefusedError(
+            f"daemon at {self.host}:{self.port} refused "
+            f"{self.connect_retries + 1} connection attempts"
+        ) from last
+
+    @staticmethod
+    def _raise_for(status: int, obj: dict) -> None:
+        error = obj.get("error", {}) if isinstance(obj, dict) else {}
+        message = error.get("message", f"daemon returned HTTP {status}")
+        if status == 429:
+            raise QueueFullError(message)
+        if status == 400:
+            raise QueryError(message)
+        raise ProtocolError(f"HTTP {status}: {message}")

@@ -1,0 +1,131 @@
+"""Multi-process worker pool for CPU-bound query lowering.
+
+Python threads share one GIL, so a daemon whose queries are dominated by
+decode/lowering CPU (not mmap I/O) serializes on it.  :class:`WorkerPool`
+escapes that: queries run in worker *processes*, each owning its own
+engine over the same read-only segment files.  Because segments are
+mmap-backed and never written by readers, every worker's mappings share
+one copy of the data in the OS page cache — N workers cost N engines'
+bookkeeping, not N copies of the lineage.
+
+Two ways to give workers an engine:
+
+* ``WorkerPool(engine=sz)`` — **fork** mode.  The live engine is
+  inherited by forked children (copy-on-write; the page cache backing its
+  mmaps is shared by definition).  Requires a platform with ``fork``
+  (POSIX); the pool must be created before extra threads make forking
+  unsafe — create it at daemon startup, not per request.
+* ``WorkerPool(engine_factory=f)`` — **spawn** mode (portable).  ``f``
+  must be a picklable module-level callable returning a ready engine
+  (typically: build the spec, ``resume`` off the flushed catalog).  Each
+  worker calls it once at startup.
+
+Requests cross the process boundary in wire form (``to_dict()`` JSON-able
+dicts), the same schema the network daemon speaks — so
+``pool.query(request)`` is observably identical to ``engine.query(request)``
+modulo diagnostics.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.core.query import QueryRequest
+from repro.errors import SubZeroError
+
+__all__ = ["WorkerPool"]
+
+#: fork mode: the parent parks the engine here before creating the pool;
+#: forked children inherit the binding (spawned children do not — they
+#: build their own engine from the factory instead)
+_FORK_ENGINE = None
+
+#: per-worker-process engine, set once by the pool initializer
+_WORKER_ENGINE = None
+
+
+def _init_worker(factory) -> None:
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = factory() if factory is not None else _FORK_ENGINE
+    if _WORKER_ENGINE is None:
+        raise SubZeroError(
+            "worker process started without an engine: fork-mode pools "
+            "need a fork start method, spawn-mode pools need a factory"
+        )
+
+
+def _run_query(request_dict: dict) -> dict:
+    request = QueryRequest.from_dict(request_dict)
+    return _WORKER_ENGINE.query(request).to_dict()
+
+
+class WorkerPool:
+    """A process pool executing :class:`QueryRequest` s (see module doc)."""
+
+    def __init__(
+        self,
+        engine=None,
+        engine_factory=None,
+        workers: int = 2,
+        mp_context: str | None = None,
+    ):
+        if (engine is None) == (engine_factory is None):
+            raise ValueError(
+                "pass exactly one of engine= (fork mode) or "
+                "engine_factory= (spawn mode)"
+            )
+        if mp_context is None:
+            mp_context = "fork" if engine is not None else "spawn"
+        methods = multiprocessing.get_all_start_methods()
+        if mp_context not in methods:
+            raise SubZeroError(
+                f"start method {mp_context!r} unavailable on this platform "
+                f"(have: {', '.join(methods)}); use engine_factory= with "
+                "spawn instead"
+            )
+        if engine is not None and mp_context != "fork":
+            raise ValueError(
+                "a live engine can only cross into workers by fork; "
+                "pass engine_factory= for spawn/forkserver pools"
+            )
+        self.mp_context = mp_context
+        self.workers = workers
+        if engine is not None:
+            global _FORK_ENGINE
+            _FORK_ENGINE = engine
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=multiprocessing.get_context(mp_context),
+            initializer=_init_worker,
+            initargs=(engine_factory,),
+        )
+
+    # -- execution -----------------------------------------------------------
+
+    def query(self, request: QueryRequest) -> dict:
+        """Execute one request in a worker; returns the wire-form result
+        dict.  Engine exceptions (``QueryError`` etc.) propagate."""
+        return self.query_dict(request.to_dict())
+
+    def query_dict(self, request_dict: dict) -> dict:
+        """Wire-form in, wire-form out (the daemon's delegation path)."""
+        return self._pool.submit(_run_query, request_dict).result()
+
+    def map(self, requests) -> list[dict]:
+        """Execute a batch across the workers; results in input order."""
+        futures = [
+            self._pool.submit(_run_query, r.to_dict()) for r in requests
+        ]
+        return [f.result() for f in futures]
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

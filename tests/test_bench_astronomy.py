@@ -7,6 +7,7 @@ from repro import (
     BLACKBOX,
     COMP_ONE_B,
     FULL_ONE_B,
+    QueryRequest,
     SubZero,
 )
 from repro.bench.astronomy import (
@@ -107,7 +108,9 @@ class TestQueries:
     def test_fq0_entire_array_vs_slow_agree(self, bench, subzero):
         queries = bench.queries(subzero.instance)
         fast = subzero.execute_query(queries["FQ0"])
-        slow = subzero.execute_query(queries["FQ0"], enable_entire_array=False)
+        slow = subzero.execute_query(
+            QueryRequest.from_query(queries["FQ0"], entire_array=False)
+        )
         assert {tuple(c) for c in fast.coords} == {tuple(c) for c in slow.coords}
         assert fast.seconds <= slow.seconds
 

@@ -8,6 +8,7 @@ from repro import (
     FULL_ONE_B,
     FULL_ONE_F,
     PAY_ONE_B,
+    QueryRequest,
     SciArray,
     SubZero,
     WorkflowSpec,
@@ -43,7 +44,7 @@ class TestShortcuts:
         sz = SubZero(mean_spec())
         sz.use_mapping_where_possible()
         sz.run({"a": image})
-        res = sz.backward_query([(0,)], [("mean", 0)], enable_entire_array=False)
+        res = sz.query(QueryRequest.backward([(0,)], [("mean", 0)], entire_array=False))
         assert res.count == image.size
         assert res.steps[0].shortcut is None
 

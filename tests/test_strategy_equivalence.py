@@ -19,6 +19,7 @@ from repro import (
     MAP,
     PAY_MANY_B,
     PAY_ONE_B,
+    QueryRequest,
     SciArray,
     SubZero,
 )
@@ -102,8 +103,10 @@ def test_equivalence_with_query_time_optimizer(strategy, image, reference):
 def test_equivalence_without_entire_array_opt(strategy, image, reference):
     sz = run_with(strategy, image)
     back = coord_set(
-        sz.backward_query(
-            reference["out_cells"], BACKWARD_PATH, enable_entire_array=False
+        sz.query(
+            QueryRequest.backward(
+                reference["out_cells"], BACKWARD_PATH, entire_array=False
+            )
         )
     )
     assert back == reference["backward"]
