@@ -52,6 +52,24 @@ __all__ = [
 
 UDF_NODES = ("crd_1", "crd_2", "cr_remove", "star_detect")
 
+
+def _neighbourhood_batch(
+    cells: np.ndarray, offsets: np.ndarray, shape
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row clipped neighbourhoods in columnar ``(values, offsets)`` form.
+
+    Row ``i`` of ``cells`` expands to ``cells[i] + offsets`` with
+    out-of-bounds rows dropped — the whole-array equivalent of calling
+    ``clip_coords(cell + offsets, shape)`` per cell, emitted as one
+    descriptor for ``lwrite_batch``.
+    """
+    neigh = cells[:, None, :] + offsets[None, :, :]
+    shape_arr = np.asarray(shape, dtype=np.int64)
+    valid = ((neigh >= 0) & (neigh < shape_arr)).all(axis=2)
+    set_offsets = np.zeros(cells.shape[0] + 1, dtype=np.int64)
+    np.cumsum(valid.sum(axis=1), out=set_offsets[1:])
+    return neigh.reshape(-1, cells.shape[1])[valid.ravel()], set_offsets
+
 BUILTIN_NODES = tuple(
     [
         f"{name}_{i}"
@@ -147,9 +165,12 @@ class CosmicRayDetect(Operator):
         hot = np.stack(np.nonzero(mask), axis=1).astype(np.int64)
         cold = np.stack(np.nonzero(~mask), axis=1).astype(np.int64)
         if ctx.wants_full:
-            for cell in hot:
-                neighbours = C.clip_coords(cell + self._offsets, self.input_shapes[0])
-                ctx.lwrite(cell.reshape(1, -1), neighbours)
+            if hot.shape[0]:
+                in_coords, in_offsets = _neighbourhood_batch(
+                    hot, self._offsets, self.input_shapes[0]
+                )
+                one_cell = np.arange(hot.shape[0] + 1, dtype=np.int64)
+                ctx.lwrite_batch(hot, one_cell, (in_coords,), (in_offsets,))
             ctx.lwrite_elementwise(cold, cold)
         if LineageMode.PAY in ctx.cur_modes:
             ctx.lwrite_payload_batch(
@@ -245,9 +266,17 @@ class CosmicRayRemove(Operator):
         hot = np.stack(np.nonzero(mask), axis=1).astype(np.int64)
         cold = np.stack(np.nonzero(~mask), axis=1).astype(np.int64)
         if ctx.wants_full:
-            for cell in hot:
-                neighbours = C.clip_coords(cell + self._offsets, self.input_shapes[0])
-                ctx.lwrite(cell.reshape(1, -1), neighbours, cell.reshape(1, -1), cell.reshape(1, -1))
+            if hot.shape[0]:
+                in_coords, in_offsets = _neighbourhood_batch(
+                    hot, self._offsets, self.input_shapes[0]
+                )
+                one_cell = np.arange(hot.shape[0] + 1, dtype=np.int64)
+                ctx.lwrite_batch(
+                    hot,
+                    one_cell,
+                    (in_coords, hot, hot),
+                    (in_offsets, one_cell, one_cell),
+                )
             ctx.lwrite_elementwise(cold, cold, cold, cold)
         if LineageMode.PAY in ctx.cur_modes:
             ctx.lwrite_payload_batch(
@@ -358,19 +387,37 @@ class StarDetect(Operator):
             cells = np.stack(np.nonzero(labels == star_id), axis=1).astype(np.int64)
             if cells.shape[0]:
                 star_cells.append(cells)
+        # one region pair per star, all stars in one columnar descriptor
+        if star_cells:
+            flat = np.concatenate(star_cells)
+            star_offsets = np.zeros(len(star_cells) + 1, dtype=np.int64)
+            np.cumsum([c.shape[0] for c in star_cells], out=star_offsets[1:])
         if ctx.wants_full:
-            for cells in star_cells:
-                ctx.lwrite(cells, cells)
+            if star_cells:
+                ctx.lwrite_batch(flat, star_offsets, (flat,), (star_offsets,))
             ctx.lwrite_elementwise(background, background)
         if LineageMode.PAY in ctx.cur_modes:
-            for cells in star_cells:
-                ctx.lwrite_payload(cells, self._encode_cells(cells))
+            if star_cells:
+                ctx.lwrite_payload_regions(
+                    flat, star_offsets, *self._encode_star_payloads(star_cells)
+                )
             ctx.lwrite_payload_batch(
                 background, np.zeros((background.shape[0], 1), dtype=np.uint8)
             )
         elif LineageMode.COMP in ctx.cur_modes:
-            for cells in star_cells:
-                ctx.lwrite_payload(cells, self._encode_cells(cells))
+            if star_cells:
+                ctx.lwrite_payload_regions(
+                    flat, star_offsets, *self._encode_star_payloads(star_cells)
+                )
+
+    def _encode_star_payloads(
+        self, star_cells: list[np.ndarray]
+    ) -> tuple[bytes, np.ndarray]:
+        """Concatenated per-star payload blobs + offsets (columnar form)."""
+        blobs = [self._encode_cells(cells) for cells in star_cells]
+        offsets = np.zeros(len(blobs) + 1, dtype=np.int64)
+        np.cumsum([len(b) for b in blobs], out=offsets[1:])
+        return b"".join(blobs), offsets
 
     def _encode_cells(self, cells: np.ndarray) -> bytes:
         if self.granularity == "box":

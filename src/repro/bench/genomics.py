@@ -222,12 +222,31 @@ class TrainModel(Operator):
 
     def write_lineage(self, inputs, output, ctx) -> None:
         n_features = self.output_shape[0]
-        for f in range(n_features):
-            out_cells = np.asarray([[f, 0], [f, 1]], dtype=np.int64)
-            if ctx.wants_full:
-                ctx.lwrite(out_cells, self._column_cells(f))
-            if ctx.wants_payload:
-                ctx.lwrite_payload(out_cells, int(f).to_bytes(4, "little"))
+        n_patients, n_cols = self.input_shapes[0]
+        # pair f: out cells [[f,0],[f,1]]; in cells = feature column f plus
+        # the label column — all emitted as one columnar descriptor
+        f_idx = np.repeat(np.arange(n_features, dtype=np.int64), 2)
+        out_coords = np.stack(
+            [f_idx, np.tile(np.asarray([0, 1], dtype=np.int64), n_features)], axis=1
+        )
+        out_offsets = np.arange(n_features + 1, dtype=np.int64) * 2
+        if ctx.wants_full:
+            rows = np.arange(n_patients, dtype=np.int64)
+            cols = np.empty((n_features, 2 * n_patients), dtype=np.int64)
+            cols[:, :n_patients] = np.arange(n_features, dtype=np.int64)[:, None]
+            cols[:, n_patients:] = n_cols - 1
+            in_coords = np.stack(
+                [np.tile(np.concatenate([rows, rows]), n_features), cols.ravel()],
+                axis=1,
+            )
+            in_offsets = np.arange(n_features + 1, dtype=np.int64) * (2 * n_patients)
+            ctx.lwrite_batch(out_coords, out_offsets, (in_coords,), (in_offsets,))
+        if ctx.wants_payload:
+            payloads = np.arange(n_features, dtype="<u4").tobytes()
+            payload_offsets = np.arange(n_features + 1, dtype=np.int64) * 4
+            ctx.lwrite_payload_regions(
+                out_coords, out_offsets, payloads, payload_offsets
+            )
 
     def map_p_many(self, out_coords, payload, input_idx):
         col = int.from_bytes(payload[:4], "little")
@@ -280,10 +299,27 @@ class Predict(Operator):
     def write_lineage(self, inputs, output, ctx) -> None:
         n_patients = self.output_shape[0]
         if ctx.wants_full:
+            # pair p: out [[p,0]]; in0 = the whole model, in1 = patient p's
+            # feature row — one columnar descriptor for all patients
             model_cells = self._model_cells()
-            for p in range(n_patients):
-                out_cell = np.asarray([[p, 0]], dtype=np.int64)
-                ctx.lwrite(out_cell, model_cells, self._row_cells(p))
+            n_feats = self.input_shapes[1][1]
+            patients = np.arange(n_patients, dtype=np.int64)
+            out_coords = np.stack([patients, np.zeros_like(patients)], axis=1)
+            one_cell = np.arange(n_patients + 1, dtype=np.int64)
+            in_model = np.tile(model_cells, (n_patients, 1))
+            in_row = np.stack(
+                [
+                    np.repeat(patients, n_feats),
+                    np.tile(np.arange(n_feats, dtype=np.int64), n_patients),
+                ],
+                axis=1,
+            )
+            ctx.lwrite_batch(
+                out_coords,
+                one_cell,
+                (in_model, in_row),
+                (one_cell * model_cells.shape[0], one_cell * n_feats),
+            )
         if ctx.wants_payload:
             out_coords = np.stack(
                 [

@@ -69,10 +69,15 @@ from repro.errors import LineageError, StorageError
 from repro.storage import codecs
 from repro.storage import segment as seglib
 from repro.storage import serialize as ser
-from repro.storage.kvstore import BlobStore, HashStore
+from repro.storage.kvstore import BlobStore, HashStore, _gather_slices
 from repro.storage.rtree import RTree
 
-__all__ = ["OpLineageStore", "RegionEntryTable", "make_store"]
+__all__ = [
+    "OpLineageStore",
+    "RegionEntryTable",
+    "encode_full_values",
+    "make_store",
+]
 
 
 def encode_singleton_int_arrays(values: np.ndarray) -> np.ndarray:
@@ -105,6 +110,62 @@ def decode_full_value(buf: bytes, arity: int) -> list[np.ndarray]:
         arr, offset = ser.decode_int_array(buf, offset)
         out.append(arr)
     return out
+
+
+def _encode_sorted_segmented(
+    values: np.ndarray, offsets: np.ndarray
+) -> tuple[bytes, np.ndarray]:
+    """Sort each ``offsets`` segment of ``values`` and batch-encode it.
+
+    The byte-for-byte vectorised counterpart of ``encode_int_array(sort(s))``
+    per segment: one global segmented sort (lexsort keyed by segment owner)
+    feeds :func:`repro.storage.codecs.encode_sorted_sets`, so no per-pair
+    Python work happens on the deferred capture path."""
+    offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+    counts = np.diff(offsets)
+    owner = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+    order = np.lexsort((values, owner))
+    buf, lengths = codecs.encode_sorted_sets(values[order], offsets)
+    return buf.tobytes(), lengths
+
+
+def encode_full_values(
+    packed_per_input: list[np.ndarray], offsets_per_input
+) -> tuple[bytes, np.ndarray]:
+    """Vectorised :func:`encode_full_value` over ``n`` region pairs.
+
+    ``packed_per_input[i]`` holds input ``i``'s packed cells for every pair,
+    segmented by ``offsets_per_input[i]`` (an ``(n+1,)`` offset array).
+    Returns ``(buf, lengths)`` where pair ``p``'s value bytes — the
+    concatenation of its per-input encoded sorted cell sets — occupy
+    ``lengths[p]`` consecutive bytes of ``buf`` in pair order.
+    """
+    arity = len(packed_per_input)
+    bufs: list[bytes] = []
+    lens_per_input: list[np.ndarray] = []
+    for vals, offsets in zip(packed_per_input, offsets_per_input):
+        buf, lengths = _encode_sorted_segmented(vals, offsets)
+        bufs.append(buf)
+        lens_per_input.append(lengths)
+    if arity == 1:
+        return bufs[0], lens_per_input[0]
+    # interleave the per-input streams pair-major (pair p = its arity slices)
+    n = lens_per_input[0].size
+    starts = np.empty((n, arity), dtype=np.int64)
+    lens_m = np.empty((n, arity), dtype=np.int64)
+    base = 0
+    for i in range(arity):
+        li = lens_per_input[i]
+        st = np.zeros(n, dtype=np.int64)
+        np.cumsum(li[:-1], out=st[1:])
+        starts[:, i] = st + base
+        lens_m[:, i] = li
+        base += len(bufs[i])
+    flat_lens = lens_m.reshape(-1)
+    out = _gather_slices(
+        b"".join(bufs), starts.reshape(-1), flat_lens, int(flat_lens.sum())
+    )
+    return out, lens_m.sum(axis=1)
 
 
 class RegionEntryTable:
@@ -143,8 +204,45 @@ class RegionEntryTable:
         # szlint: ignore[SZ006] -- ingest is single-writer by contract; _flock only guards the finalize merge
         self._key_chunks.append(key_packed)
         self._klen_chunks.append(np.asarray([key_packed.size], dtype=np.int64))
-        self._val_chunks.append(bytes(value))
+        # zero-copy when the caller already hands over immutable bytes
+        self._val_chunks.append(value if type(value) is bytes else bytes(value))
         self._vlen_chunks.append(np.asarray([len(value)], dtype=np.int64))
+        self._dirty = True
+
+    def add_entries(
+        self,
+        keys_concat: np.ndarray,
+        key_counts: np.ndarray,
+        val_buf: bytes,
+        val_lengths: np.ndarray,
+    ) -> None:
+        """Bulk-add ``n`` entries with variable-size key cell sets.
+
+        Entry ``e`` owns ``key_counts[e]`` consecutive cells of
+        ``keys_concat`` and ``val_lengths[e]`` consecutive bytes of
+        ``val_buf``.  Key sets are sorted with one segmented lexsort pass —
+        the columnar counterpart of ``n`` :meth:`add_entry` calls, with no
+        per-entry Python objects (the deferred-capture lowering path).
+        """
+        keys_concat = np.ascontiguousarray(keys_concat, dtype=np.int64)
+        key_counts = np.ascontiguousarray(key_counts, dtype=np.int64)
+        n = key_counts.size
+        if n == 0:
+            return
+        if (key_counts < 1).any():
+            raise StorageError("a region entry needs at least one key cell")
+        if int(key_counts.sum()) != keys_concat.size:
+            raise StorageError("key counts must span the key cell buffer")
+        val_lengths = np.ascontiguousarray(val_lengths, dtype=np.int64)
+        if val_lengths.size != n or int(val_lengths.sum()) != len(val_buf):
+            raise StorageError("value lengths must align with keys and span buffer")
+        owner = np.repeat(np.arange(n, dtype=np.int64), key_counts)
+        order = np.lexsort((keys_concat, owner))
+        # szlint: ignore[SZ006] -- ingest is single-writer by contract; _flock only guards the finalize merge
+        self._key_chunks.append(keys_concat[order])
+        self._klen_chunks.append(key_counts)
+        self._val_chunks.append(val_buf if type(val_buf) is bytes else bytes(val_buf))
+        self._vlen_chunks.append(val_lengths)
         self._dirty = True
 
     def add_singleton_entries(
@@ -161,7 +259,7 @@ class RegionEntryTable:
         # szlint: ignore[SZ006] -- ingest is single-writer by contract; _flock only guards the finalize merge
         self._key_chunks.append(keys_packed)
         self._klen_chunks.append(np.ones(n, dtype=np.int64))
-        self._val_chunks.append(bytes(val_buf))
+        self._val_chunks.append(val_buf if type(val_buf) is bytes else bytes(val_buf))
         self._vlen_chunks.append(val_lengths)
         self._dirty = True
 
@@ -892,6 +990,21 @@ class _FullBackwardOne(OpLineageStore):
             ref = self._blobs.append(value)
             out_packed = C.pack_coords(pair.outcells, self.out_shape)
             self._refs.put_many_fixed(out_packed, np.full(out_packed.size, ref))
+        for rb in sink.region_batches:
+            if rb.is_payload:
+                continue
+            vbuf, vlens = encode_full_values(
+                [
+                    C.pack_coords(cells, self.in_shapes[i])
+                    for i, cells in enumerate(rb.in_coords)
+                ],
+                rb.in_offsets,
+            )
+            ids = self._blobs.append_buffer(vbuf, vlens)
+            out_packed = C.pack_coords(rb.out_coords, self.out_shape)
+            self._refs.put_many_fixed(
+                out_packed, np.repeat(ids, np.diff(rb.out_offsets))
+            )
 
     def absorb(self, other: "OpLineageStore") -> None:
         self._check_absorb(other)
@@ -998,6 +1111,22 @@ class _FullBackwardMany(OpLineageStore):
                 ]
             )
             self._table.add_entry(C.pack_coords(pair.outcells, self.out_shape), value)
+        for rb in sink.region_batches:
+            if rb.is_payload:
+                continue
+            vbuf, vlens = encode_full_values(
+                [
+                    C.pack_coords(cells, self.in_shapes[i])
+                    for i, cells in enumerate(rb.in_coords)
+                ],
+                rb.in_offsets,
+            )
+            self._table.add_entries(
+                C.pack_coords(rb.out_coords, self.out_shape),
+                np.diff(rb.out_offsets),
+                vbuf,
+                vlens,
+            )
 
     def absorb(self, other: "OpLineageStore") -> None:
         self._check_absorb(other)
@@ -1083,6 +1212,18 @@ class _FullForwardOne(OpLineageStore):
             for i, cells in enumerate(pair.incells):
                 in_packed = C.pack_coords(cells, self.in_shapes[i])
                 self._refs[i].put_many_fixed(in_packed, np.full(in_packed.size, ref))
+        for rb in sink.region_batches:
+            if rb.is_payload:
+                continue
+            vbuf, vlens = _encode_sorted_segmented(
+                C.pack_coords(rb.out_coords, self.out_shape), rb.out_offsets
+            )
+            ids = self._blobs.append_buffer(vbuf, vlens)
+            for i, cells in enumerate(rb.in_coords):
+                in_packed = C.pack_coords(cells, self.in_shapes[i])
+                self._refs[i].put_many_fixed(
+                    in_packed, np.repeat(ids, np.diff(rb.in_offsets[i]))
+                )
 
     def absorb(self, other: "OpLineageStore") -> None:
         self._check_absorb(other)
@@ -1187,6 +1328,30 @@ class _FullForwardMany(OpLineageStore):
                 self._tables[i].add_entry(
                     C.pack_coords(cells, self.in_shapes[i]), value
                 )
+        for rb in sink.region_batches:
+            if rb.is_payload:
+                continue
+            vbuf, vlens = _encode_sorted_segmented(
+                C.pack_coords(rb.out_coords, self.out_shape), rb.out_offsets
+            )
+            vstarts = np.zeros(vlens.size + 1, dtype=np.int64)
+            np.cumsum(vlens, out=vstarts[1:])
+            for i, cells in enumerate(rb.in_coords):
+                in_counts = np.diff(rb.in_offsets[i])
+                keep = in_counts > 0
+                if not keep.any():
+                    # pairs with no cells in this input store no forward keys
+                    continue
+                in_packed = C.pack_coords(cells, self.in_shapes[i])
+                if keep.all():
+                    buf_i, lens_i = vbuf, vlens
+                else:
+                    lens_i = vlens[keep]
+                    buf_i = _gather_slices(
+                        vbuf, vstarts[:-1][keep], lens_i, int(lens_i.sum())
+                    )
+                    in_counts = in_counts[keep]
+                self._tables[i].add_entries(in_packed, in_counts, buf_i, lens_i)
 
     def absorb(self, other: "OpLineageStore") -> None:
         self._check_absorb(other)
@@ -1273,6 +1438,22 @@ class _PayBackwardOne(OpLineageStore):
                 continue
             out_packed = C.pack_coords(pair.outcells, self.out_shape)
             self._hash.put_many_shared(out_packed, pair.payload)
+        for rb in sink.region_batches:
+            if not rb.is_payload:
+                continue
+            out_packed = C.pack_coords(rb.out_coords, self.out_shape)
+            out_counts = np.diff(rb.out_offsets)
+            # duplicate each pair's payload once per output cell (PayOne)
+            rep_lens = np.repeat(np.diff(rb.payload_offsets), out_counts)
+            buf = _gather_slices(
+                rb.payloads,
+                np.repeat(rb.payload_offsets[:-1], out_counts),
+                rep_lens,
+                int(rep_lens.sum()),
+            )
+            offsets = np.zeros(out_packed.size + 1, dtype=np.int64)
+            np.cumsum(rep_lens, out=offsets[1:])
+            self._hash.put_many(out_packed, buf, offsets)
 
     def absorb(self, other: "OpLineageStore") -> None:
         self._check_absorb(other)
@@ -1348,6 +1529,15 @@ class _PayBackwardMany(OpLineageStore):
                 continue
             self._table.add_entry(
                 C.pack_coords(pair.outcells, self.out_shape), pair.payload
+            )
+        for rb in sink.region_batches:
+            if not rb.is_payload:
+                continue
+            self._table.add_entries(
+                C.pack_coords(rb.out_coords, self.out_shape),
+                np.diff(rb.out_offsets),
+                rb.payloads,
+                np.diff(rb.payload_offsets),
             )
 
     def absorb(self, other: "OpLineageStore") -> None:

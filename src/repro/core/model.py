@@ -31,6 +31,7 @@ __all__ = [
     "RegionPair",
     "ElementwiseBatch",
     "PayloadBatch",
+    "RegionBatch",
     "LineageSink",
     "BufferSink",
     "Frontier",
@@ -120,11 +121,83 @@ class PayloadBatch:
         return self.payloads[i]
 
 
+@dataclass(frozen=True)
+class RegionBatch:
+    """``n`` independent region pairs in columnar form.
+
+    Pair ``i`` relates ``out_coords[out_offsets[i]:out_offsets[i+1]]`` to
+    either ``in_coords[k][in_offsets[k][i]:in_offsets[k][i+1]]`` per input
+    ``k`` (full pairs) or ``payloads[payload_offsets[i]:payload_offsets[i+1]]``
+    (payload pairs).  This is the deferred-materialisation descriptor: one
+    batch carries thousands of pairs with zero per-pair Python objects, and
+    the stores lower it to codecs/hash tables in whole-array passes.
+    """
+
+    out_coords: np.ndarray  # (K, ndim_out) int64
+    out_offsets: np.ndarray  # (n+1,) int64, monotone, [0] == 0
+    in_coords: tuple[np.ndarray, ...] | None = None  # per input: (M_k, ndim_k)
+    in_offsets: tuple[np.ndarray, ...] | None = None  # per input: (n+1,)
+    payloads: bytes | None = None  # concatenated pair payloads
+    payload_offsets: np.ndarray | None = None  # (n+1,)
+
+    def __post_init__(self) -> None:
+        if (self.in_coords is None) == (self.payloads is None):
+            raise LineageError("a region batch carries either input cells or payloads")
+        if self.out_offsets.ndim != 1 or self.out_offsets.size == 0:
+            raise LineageError("region batch offsets must be non-empty 1-D arrays")
+        n = self.out_offsets.size - 1
+        if int(self.out_offsets[0]) != 0 or int(self.out_offsets[-1]) != len(
+            self.out_coords
+        ):
+            raise LineageError("region batch out_offsets do not cover out_coords")
+        if (np.diff(self.out_offsets) < 1).any():
+            raise LineageError("every region pair needs at least one output cell")
+        if self.in_coords is not None:
+            if self.in_offsets is None or len(self.in_offsets) != len(self.in_coords):
+                raise LineageError("region batch needs one offset array per input")
+            for arr, off in zip(self.in_coords, self.in_offsets):
+                if off.size != n + 1 or int(off[0]) != 0 or int(off[-1]) != len(arr):
+                    raise LineageError("region batch in_offsets do not cover in_coords")
+        else:
+            off = self.payload_offsets
+            if off is None or off.size != n + 1 or int(off[0]) != 0 or int(
+                off[-1]
+            ) != len(self.payloads):
+                raise LineageError("region batch payload_offsets do not cover payloads")
+
+    @property
+    def is_payload(self) -> bool:
+        return self.payloads is not None
+
+    @property
+    def count(self) -> int:
+        return int(self.out_offsets.size - 1)
+
+    @property
+    def arity(self) -> int:
+        return len(self.in_coords) if self.in_coords is not None else 0
+
+    def pair_at(self, i: int) -> RegionPair:
+        """Materialise pair ``i`` as a :class:`RegionPair` (slow path)."""
+        outcells = self.out_coords[int(self.out_offsets[i]) : int(self.out_offsets[i + 1])]
+        if self.in_coords is not None:
+            incells = tuple(
+                arr[int(off[i]) : int(off[i + 1])]
+                for arr, off in zip(self.in_coords, self.in_offsets)
+            )
+            return RegionPair(outcells=outcells, incells=incells)
+        lo = int(self.payload_offsets[i])
+        hi = int(self.payload_offsets[i + 1])
+        return RegionPair(outcells=outcells, payload=self.payloads[lo:hi])
+
+
 class LineageSink:
     """Receiver for an operator's ``lwrite`` calls (see Table I).
 
     The workflow runtime installs a buffering sink; the re-executor installs
-    a capturing sink.  Subclasses override the three ``add_*`` hooks.
+    a capturing sink.  Subclasses override the ``add_*`` hooks;
+    :meth:`add_region_batch` has a pair-decomposing default so existing
+    custom sinks keep working with batch-emitting operators.
     """
 
     def add_pair(self, pair: RegionPair) -> None:
@@ -136,6 +209,10 @@ class LineageSink:
     def add_payload_batch(self, batch: PayloadBatch) -> None:
         raise NotImplementedError
 
+    def add_region_batch(self, batch: RegionBatch) -> None:
+        for i in range(batch.count):
+            self.add_pair(batch.pair_at(i))
+
 
 @dataclass
 class BufferSink(LineageSink):
@@ -144,6 +221,7 @@ class BufferSink(LineageSink):
     pairs: list[RegionPair] = field(default_factory=list)
     elementwise: list[ElementwiseBatch] = field(default_factory=list)
     payload_batches: list[PayloadBatch] = field(default_factory=list)
+    region_batches: list[RegionBatch] = field(default_factory=list)
 
     def add_pair(self, pair: RegionPair) -> None:
         self.pairs.append(pair)
@@ -154,18 +232,23 @@ class BufferSink(LineageSink):
     def add_payload_batch(self, batch: PayloadBatch) -> None:
         self.payload_batches.append(batch)
 
+    def add_region_batch(self, batch: RegionBatch) -> None:
+        self.region_batches.append(batch)
+
     @property
     def n_pairs(self) -> int:
         return (
             len(self.pairs)
             + sum(b.count for b in self.elementwise)
             + sum(b.count for b in self.payload_batches)
+            + sum(b.count for b in self.region_batches)
         )
 
     def clear(self) -> None:
         self.pairs.clear()
         self.elementwise.clear()
         self.payload_batches.clear()
+        self.region_batches.clear()
 
 
 class Frontier:

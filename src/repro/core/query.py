@@ -442,6 +442,13 @@ class QueryResult:
                 f"{c.get('open_mappings', 0)} open mappings "
                 f"({c.get('resident_bytes', 0)} resident bytes)"
             )
+            if c.get("deferred_pairs", 0) or c.get("capture_seconds", 0.0):
+                lines.append(
+                    f"  deferred capture: {c.get('deferred_pairs', 0)} pairs / "
+                    f"{c.get('deferred_bytes', 0)} bytes parked, "
+                    f"{c.get('capture_seconds', 0.0) * 1e3:.2f} ms foreground, "
+                    f"{c.get('encode_thread_seconds', 0.0) * 1e3:.2f} ms encode thread"
+                )
         return "\n".join(lines)
 
 

@@ -13,6 +13,7 @@ mapping functions.  Un-instrumented operators degrade to all-to-all.
 
 from __future__ import annotations
 
+import itertools
 import time
 
 import numpy as np
@@ -136,7 +137,7 @@ def join_sink_backward(
     def mark(hit_packed: np.ndarray) -> None:
         matched[np.isin(qpacked, hit_packed)] = True
 
-    for pair in sink.pairs:
+    for pair in itertools.chain(sink.pairs, _payload_batch_pairs(sink)):
         outp = C.pack_coords(pair.outcells, out_shape)
         hit = outp[C.isin_sorted(outp, query)]
         if hit.size == 0:
@@ -170,8 +171,38 @@ def join_sink_backward(
         )
         cells, _ = op.map_p_batch(coords, payloads, input_idx)
         parts.append(C.pack_coords(cells, in_shape))
+    for rb in sink.region_batches:
+        if rb.is_payload:
+            continue  # handled via _payload_batch_pairs above
+        outp = C.pack_coords(rb.out_coords, out_shape)
+        hit_mask = C.isin_sorted(outp, query)
+        if not hit_mask.any():
+            continue
+        mark(outp[hit_mask])
+        owner = np.repeat(
+            np.arange(rb.count, dtype=np.int64), np.diff(rb.out_offsets)
+        )
+        hit_pairs = np.zeros(rb.count, dtype=bool)
+        hit_pairs[owner[hit_mask]] = True
+        in_off = rb.in_offsets[input_idx]
+        idx = C.expand_ranges(in_off[:-1][hit_pairs], np.diff(in_off)[hit_pairs])
+        if idx.size:
+            parts.append(
+                C.pack_coords(rb.in_coords[input_idx][idx], in_shape)
+            )
     result = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
     return result, matched
+
+
+def _payload_batch_pairs(sink: BufferSink):
+    """Materialise the payload region batches as pairs — payload expansion
+    is inherently per-pair (``map_p``), so these join via the pair path."""
+    return (
+        rb.pair_at(i)
+        for rb in sink.region_batches
+        if rb.is_payload
+        for i in range(rb.count)
+    )
 
 
 def join_sink_forward(
@@ -192,7 +223,7 @@ def join_sink_forward(
     parts: list[np.ndarray] = []
     covered_parts: list[np.ndarray] = []
 
-    for pair in sink.pairs:
+    for pair in itertools.chain(sink.pairs, _payload_batch_pairs(sink)):
         outp = C.pack_coords(pair.outcells, out_shape)
         if pair.is_payload:
             covered_parts.append(outp)
@@ -228,6 +259,24 @@ def join_sink_forward(
         hit_rows = np.unique(rows[np.isin(inp, query)])
         if hit_rows.size:
             parts.append(outp[hit_rows])
+    for rb in sink.region_batches:
+        if rb.is_payload:
+            continue  # handled via _payload_batch_pairs above
+        inp = C.pack_coords(rb.in_coords[input_idx], in_shape)
+        mask = C.isin_sorted(inp, query)
+        if not mask.any():
+            continue
+        owner = np.repeat(
+            np.arange(rb.count, dtype=np.int64),
+            np.diff(rb.in_offsets[input_idx]),
+        )
+        hit_pairs = np.zeros(rb.count, dtype=bool)
+        hit_pairs[owner[mask]] = True
+        idx = C.expand_ranges(
+            rb.out_offsets[:-1][hit_pairs], np.diff(rb.out_offsets)[hit_pairs]
+        )
+        outp = C.pack_coords(rb.out_coords[idx], out_shape)
+        parts.append(outp)
     result = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
     covered = (
         np.unique(np.concatenate(covered_parts))

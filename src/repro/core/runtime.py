@@ -11,6 +11,7 @@ from __future__ import annotations
 import time
 
 from repro.analysis import lockcheck
+from repro.core.capture import CapturePipeline, DeferredSink, sink_nbytes
 from repro.core.lineage_store import OpLineageStore, make_store
 from repro.core.model import BufferSink
 from repro.core.modes import BLACKBOX, LineageMode, StorageStrategy
@@ -27,12 +28,22 @@ _PAIR_MODES = (LineageMode.FULL, LineageMode.PAY, LineageMode.COMP)
 class LineageRuntime:
     """Owns every per-(node, strategy) lineage store for one workflow run."""
 
-    def __init__(self, stats: StatsCollector | None = None, profile: bool = False):
+    def __init__(
+        self,
+        stats: StatsCollector | None = None,
+        profile: bool = False,
+        deferred: bool = False,
+    ):
         self.stats = stats if stats is not None else StatsCollector()
         #: when True, operators are asked to emit every pair form they can,
         #: the statistics are recorded, and nothing is stored — the paper's
         #: initial black-box phase that feeds the optimizer.
         self.profile = profile
+        #: when True, :meth:`ingest` parks each node's sink and lowers it on
+        #: the background encode worker instead of encoding in the workflow
+        #: thread (deferred materialisation; see :mod:`repro.core.capture`)
+        self.deferred = deferred
+        self._capture = CapturePipeline()
         self._strategies: dict[str, tuple[StorageStrategy, ...]] = {}
         self._stores: dict[tuple[str, StorageStrategy], OpLineageStore] = {}
         #: lazy-open view over a flushed workflow (attached by load_all);
@@ -91,6 +102,12 @@ class LineageRuntime:
                 node, strategy, op.output_shape, op.input_shapes
             )
 
+    def make_sink(self) -> BufferSink:
+        """The sink the executor should install for one node's run —
+        a :class:`DeferredSink` in deferred mode so the captured
+        descriptors are recognisably parked for the background worker."""
+        return DeferredSink() if self.deferred else BufferSink()
+
     def ingest(
         self,
         node: str,
@@ -98,12 +115,39 @@ class LineageRuntime:
         out_shape: tuple[int, ...] | None = None,
         in_shapes: tuple[tuple[int, ...], ...] | None = None,
     ) -> float:
-        """Encode everything an operator emitted; returns seconds spent.
+        """Encode everything an operator emitted; returns *foreground*
+        seconds spent.
+
+        Eager mode lowers the sink into every assigned store inline.
+        Deferred mode records statistics, parks the sink, and submits the
+        lowering to the background encode worker — the workflow thread pays
+        only descriptor-recording time (``capture_seconds``), and the
+        encode cost lands on ``encode_thread_seconds`` where it overlaps
+        the next node's compute.
 
         When the executor passes the operator's array shapes, the stats
         collector also prices a sample of the pairs through the codec layer
         so the optimizer later budgets against compressed footprints.
         """
+        start = time.perf_counter()
+        if self.deferred and not self.profile:
+            # counts only — the codec-priced footprint sampling runs real
+            # encode passes and belongs on the background worker
+            self.stats.record_sink(node, sink)
+            stores = [
+                (strategy, self._stores[(node, strategy)])
+                for strategy in self.strategies_for(node)
+                if (node, strategy) in self._stores
+            ]
+            if stores or (out_shape is not None and in_shapes is not None):
+                self._capture.submit(
+                    lambda: self._encode_sink(
+                        node, stores, sink, out_shape, in_shapes
+                    )
+                )
+            elapsed = time.perf_counter() - start
+            self.stats.record_capture(elapsed, sink.n_pairs, sink_nbytes(sink))
+            return elapsed
         self.stats.record_sink(node, sink, out_shape=out_shape, in_shapes=in_shapes)
         if self.profile:
             return 0.0
@@ -122,6 +166,36 @@ class LineageRuntime:
                 node, strategy.label, elapsed, store.disk_bytes()
             )
         return total
+
+    def _encode_sink(
+        self, node: str, stores, sink: BufferSink, out_shape, in_shapes
+    ) -> None:
+        """Background half of a deferred ingest: codec-price the sink for
+        the optimizer, then lower one node's parked descriptors into every
+        assigned store (runs on the single encode worker, preserving each
+        store's single-writer contract)."""
+        total = 0.0
+        if out_shape is not None and in_shapes is not None:
+            start = time.perf_counter()
+            self.stats.price_sink(node, sink, out_shape, in_shapes)
+            total += time.perf_counter() - start
+        for strategy, store in stores:
+            start = time.perf_counter()
+            store.ingest(sink)
+            store.finalize_if_possible()
+            elapsed = time.perf_counter() - start
+            store.write_seconds += elapsed
+            total += elapsed
+            self.stats.record_store(
+                node, strategy.label, elapsed, store.disk_bytes()
+            )
+        self.stats.record_encode_thread(total)
+
+    def drain_capture(self) -> None:
+        """Join every in-flight background encode/flush job; re-raises the
+        first failure (typically a :class:`~repro.errors.StorageError`).
+        Cheap no-op when nothing was ever deferred."""
+        self._capture.drain()
 
     # -- query-side accessors ---------------------------------------------------------
 
@@ -180,7 +254,9 @@ class LineageRuntime:
         """The catalog cache's hit/miss/evict/open-mapping counters (zeros
         when no catalog is attached), plus the lock-order validator's
         counters — all zero unless ``REPRO_LOCKCHECK=1`` instrumented the
-        locks (see :mod:`repro.analysis.lockcheck`)."""
+        locks (see :mod:`repro.analysis.lockcheck`) — plus the deferred-
+        capture counters (capture/encode-thread seconds, parked pairs and
+        bytes)."""
         if self._catalog is not None:
             stats = self._catalog.stats()
         else:
@@ -192,6 +268,7 @@ class LineageRuntime:
                 "resident_bytes": 0,
             }
         stats.update(lockcheck.stats())
+        stats.update(self.stats.capture)
         return stats
 
     def stores_for_node(self, node: str) -> list[OpLineageStore]:
@@ -257,14 +334,20 @@ class LineageRuntime:
         self._stores.clear()
 
     def close(self) -> None:
-        """Release every mapping this runtime holds open: the catalog's
-        LRU cache, and any resident store hydrated straight from a segment."""
-        if self._catalog is not None:
-            self._catalog.close()
-            self._catalog = None
-        for store in self._stores.values():
-            if store._segment is not None:
-                store.close()
+        """Stop the background encode worker (re-raising the first failure
+        a background job parked), then release every mapping this runtime
+        holds open: the catalog's LRU cache, and any resident store
+        hydrated straight from a segment.  Mappings are released even when
+        a background encode failed — the failure propagates afterwards."""
+        try:
+            self._capture.close()
+        finally:
+            if self._catalog is not None:
+                self._catalog.close()
+                self._catalog = None
+            for store in self._stores.values():
+                if store._segment is not None:
+                    store.close()
 
     def __enter__(self) -> "LineageRuntime":
         return self
@@ -275,6 +358,43 @@ class LineageRuntime:
     # -- persistence --------------------------------------------------------------------
 
     def flush_all(
+        self,
+        directory: str,
+        shard_threshold_bytes: int | None = None,
+        append: bool = False,
+    ) -> int:
+        """Drain any in-flight background encodes, then persist every
+        lineage store (see :meth:`_flush_all_now` for the write itself);
+        returns total bytes written."""
+        self.drain_capture()
+        return self._flush_all_now(
+            directory, shard_threshold_bytes=shard_threshold_bytes, append=append
+        )
+
+    def flush_all_async(
+        self,
+        directory: str,
+        shard_threshold_bytes: int | None = None,
+        append: bool = False,
+    ):
+        """Queue the flush on the background encode worker and return its
+        :class:`~concurrent.futures.Future` (resolving to bytes written).
+
+        The worker is a single FIFO thread, so the flush job necessarily
+        runs *after* every encode submitted before it — no drain is needed
+        (and draining inside the job would self-join).  The caller must
+        eventually observe the future (``SubZero.close`` joins pending
+        flushes), at which point any :class:`~repro.errors.StorageError`
+        re-raises."""
+        return self._capture.submit(
+            lambda: self._flush_all_now(
+                directory,
+                shard_threshold_bytes=shard_threshold_bytes,
+                append=append,
+            )
+        )
+
+    def _flush_all_now(
         self,
         directory: str,
         shard_threshold_bytes: int | None = None,

@@ -28,6 +28,20 @@ ENC_SAMPLE_PAIRS = 256
 _SINGLETON_BYTES = ser.int_array_nbytes(np.zeros(1, dtype=np.int64))
 
 
+def _segmented_nbytes(values: np.ndarray, offsets: np.ndarray) -> int:
+    """Codec-priced bytes of the cell sets ``values[offsets[i]:offsets[i+1]]``
+    in one vectorised pass (byte-identical to pricing each sorted set through
+    ``int_array_nbytes``, per the ``encode_sorted_sets`` equivalence)."""
+    from repro.storage import codecs
+
+    offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+    counts = np.diff(offsets)
+    owner = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+    order = np.lexsort((values, owner))
+    _, lengths = codecs.encode_sorted_sets(values[order], offsets)
+    return int(lengths.sum())
+
+
 @dataclass
 class OperatorStats:
     """Everything the cost model knows about one workflow node."""
@@ -105,6 +119,15 @@ class StatsCollector:
             "lockcheck_cycles": 0,
             "lockcheck_held_io": 0,
         }
+        #: deferred-capture counters: foreground seconds spent recording
+        #: descriptors, pairs/bytes captured in deferred form, and seconds
+        #: the background encode worker spent lowering them
+        self.capture: dict[str, float] = {
+            "capture_seconds": 0.0,
+            "deferred_pairs": 0,
+            "deferred_bytes": 0,
+            "encode_thread_seconds": 0.0,
+        }
 
     def get(self, node: str) -> OperatorStats:
         if node not in self._stats:
@@ -150,7 +173,6 @@ class StatsCollector:
         """
         stats = self.get(node)
         n_pairs = n_out = n_in = pay_bytes = n_pay = n_pay_out = 0
-        full_pairs = []
         for pair in sink.pairs:
             n_pairs += 1
             n_out += pair.fanout
@@ -160,13 +182,10 @@ class StatsCollector:
                 pay_bytes += len(pair.payload)
             else:
                 n_in += sum(int(cells.shape[0]) for cells in pair.incells)
-                full_pairs.append(pair)
-        n_elem = 0
         for batch in sink.elementwise:
             n_pairs += batch.count
             n_out += batch.count
             n_in += batch.count * len(batch.incells)
-            n_elem += batch.count
         for pbatch in sink.payload_batches:
             n_pairs += pbatch.count
             n_pay += pbatch.count
@@ -176,29 +195,55 @@ class StatsCollector:
                 pay_bytes += int(pbatch.payloads.nbytes)
             else:
                 pay_bytes += sum(len(p) for p in pbatch.payloads)
+        region_batches = list(sink.region_batches)
+        for rb in region_batches:
+            n_pairs += rb.count
+            n_out += int(rb.out_coords.shape[0])
+            if rb.is_payload:
+                n_pay += rb.count
+                n_pay_out += int(rb.out_coords.shape[0])
+                pay_bytes += len(rb.payloads)
+            else:
+                n_in += sum(int(arr.shape[0]) for arr in rb.in_coords)
         stats.n_pairs = n_pairs
         stats.n_outcells = n_out
         stats.n_incells = n_in
         stats.payload_bytes = pay_bytes
         stats.n_payload_pairs = n_pay
         stats.n_payload_outcells = n_pay_out
+        # the cell counts above were overwritten for this sink; stale codec
+        # samples from an earlier (or not-yet-priced) call must not linger
+        stats.enc_in_bytes = 0
+        stats.enc_out_bytes = 0
         if out_shape is not None and in_shapes is not None:
-            enc_in, enc_out = self._predict_encoded_bytes(
-                full_pairs, n_elem, out_shape, in_shapes
-            )
-            stats.enc_in_bytes = enc_in
-            stats.enc_out_bytes = enc_out
-        else:
-            # the cell counts above were overwritten for this sink; stale
-            # codec samples from an earlier shaped call would no longer
-            # match their denominators
-            stats.enc_in_bytes = 0
-            stats.enc_out_bytes = 0
+            self.price_sink(node, sink, out_shape, in_shapes)
+
+    def price_sink(
+        self,
+        node: str,
+        sink: BufferSink,
+        out_shape: tuple[int, ...],
+        in_shapes: tuple[tuple[int, ...], ...],
+    ) -> None:
+        """Codec-price ``sink``'s full pairs into ``enc_in/out_bytes``.
+
+        Split from :meth:`record_sink` so deferred capture can run the
+        sampling on the background encode worker — pricing costs real codec
+        passes, which must not land on the workflow thread."""
+        full_pairs = [p for p in sink.pairs if not p.is_payload]
+        n_elem = sum(batch.count for batch in sink.elementwise)
+        stats = self.get(node)
+        enc_in, enc_out = self._predict_encoded_bytes(
+            full_pairs, n_elem, list(sink.region_batches), out_shape, in_shapes
+        )
+        stats.enc_in_bytes = enc_in
+        stats.enc_out_bytes = enc_out
 
     @staticmethod
     def _predict_encoded_bytes(
         full_pairs: list,
         n_elem: int,
+        region_batches: list,
         out_shape: tuple[int, ...],
         in_shapes: tuple[tuple[int, ...], ...],
     ) -> tuple[int, int]:
@@ -221,6 +266,30 @@ class StatsCollector:
             scale = len(full_pairs) / len(sample)
             in_bytes = int(in_bytes * scale)
             out_bytes = int(out_bytes * scale)
+        full_batches = [rb for rb in region_batches if not rb.is_payload]
+        total_rb = sum(rb.count for rb in full_batches)
+        if total_rb:
+            # one vectorised codec pass over the leading sample of each
+            # batch — the per-pair pricing loop would cost more than the
+            # deferred capture path it measures
+            rb_in = rb_out = sampled = 0
+            for rb in full_batches:
+                take = min(rb.count, ENC_SAMPLE_PAIRS - sampled)
+                if take == 0:
+                    break
+                out_off = rb.out_offsets[: take + 1]
+                rb_out += _segmented_nbytes(
+                    C.pack_coords(rb.out_coords[: out_off[-1]], out_shape), out_off
+                )
+                for i, cells in enumerate(rb.in_coords):
+                    in_off = rb.in_offsets[i][: take + 1]
+                    rb_in += _segmented_nbytes(
+                        C.pack_coords(cells[: in_off[-1]], in_shapes[i]), in_off
+                    )
+                sampled += take
+            scale = total_rb / sampled
+            in_bytes += int(rb_in * scale)
+            out_bytes += int(rb_out * scale)
         arity = max(1, len(in_shapes))
         in_bytes += n_elem * arity * _SINGLETON_BYTES
         out_bytes += n_elem * _SINGLETON_BYTES
@@ -256,6 +325,20 @@ class StatsCollector:
         """Record the catalog cache's counters (cumulative snapshot, not a
         delta) as reported after a query finishes."""
         self.serving = dict(snapshot)
+
+    # -- capture-side hooks ------------------------------------------------------
+
+    def record_capture(self, seconds: float, pairs: int, nbytes: int) -> None:
+        """Account one node's foreground deferred-capture work: descriptor
+        recording time plus the pairs/bytes parked for background encoding."""
+        self.capture["capture_seconds"] += seconds
+        self.capture["deferred_pairs"] += int(pairs)
+        self.capture["deferred_bytes"] += int(nbytes)
+
+    def record_encode_thread(self, seconds: float) -> None:
+        """Account time the pipelined-flush worker spent lowering deferred
+        descriptors into the per-strategy stores."""
+        self.capture["encode_thread_seconds"] += seconds
 
     # -- persistence ------------------------------------------------------------
     #

@@ -62,6 +62,7 @@ class SubZero:
         enable_entire_array: bool = True,
         enable_query_opt: bool = True,
         memory_budget_bytes: int | None = None,
+        capture: str = "deferred",
     ):
         self.spec = spec
         self.stats = StatsCollector()
@@ -71,11 +72,22 @@ class SubZero:
         #: cap on resident lineage-segment bytes when serving off a flushed
         #: catalog (LRU eviction of open stores); None keeps it unbounded
         self.memory_budget_bytes = memory_budget_bytes
+        if capture not in ("deferred", "eager"):
+            raise ValueError(
+                f"capture must be 'deferred' or 'eager', got {capture!r}"
+            )
+        #: "deferred" (default) parks lwrite descriptors and lowers them on
+        #: a background encode worker; "eager" encodes inline in the
+        #: workflow thread (the pre-pipelining behaviour)
+        self.capture = capture
         self._strategy_map: dict[str, tuple[StorageStrategy, ...]] = {}
         self.runtime: LineageRuntime | None = None
         self.instance: WorkflowInstance | None = None
         self.executor: QueryExecutor | None = None
         self.wal = WriteAheadLog()
+        #: (runtime, future) of flush_lineage(wait=False) calls still in
+        #: flight — joined (and their runtimes closed) by :meth:`close`
+        self._background: list = []
 
     # -- strategy management ---------------------------------------------------
 
@@ -107,7 +119,9 @@ class SubZero:
         self, inputs: Mapping[str, SciArray], version_store: VersionStore | None = None
     ) -> WorkflowInstance:
         """Execute the workflow, materialising lineage per the current plan."""
-        self.runtime = LineageRuntime(stats=self.stats)
+        self.runtime = LineageRuntime(
+            stats=self.stats, deferred=(self.capture == "deferred")
+        )
         for node, strategies in self._strategy_map.items():
             self.runtime.set_strategies(node, strategies)
         self.instance = execute_workflow(
@@ -150,7 +164,8 @@ class SubZero:
         directory: str,
         shard_threshold_bytes: int | None = None,
         append: bool = False,
-    ) -> int:
+        wait: bool = True,
+    ):
         """Persist every materialised lineage store under ``directory`` as
         segment files plus a catalog manifest; returns bytes written.
         Stores larger than ``shard_threshold_bytes`` (when given) are split
@@ -161,12 +176,26 @@ class SubZero:
         ``directory`` (O(delta), committed segments untouched) instead of
         re-flushing the world.  Readers overlay the generations
         transparently; call :meth:`compact_lineage` — ideally off the
-        serving path — to merge them back into single segments."""
+        serving path — to merge them back into single segments.
+
+        ``wait=False`` pipelines the flush: it is queued on the runtime's
+        background worker (behind any encodes still in flight) and a
+        :class:`~concurrent.futures.Future` of the byte count comes back
+        immediately, so flushing generation ``N`` overlaps the workflow
+        computing ``N+1``.  :meth:`close` joins every pending background
+        flush and re-raises the first :class:`~repro.errors.StorageError`,
+        so failures cannot be silently dropped."""
         if self.runtime is None:
             raise WorkflowError("execute the workflow before flushing lineage")
-        return self.runtime.flush_all(
+        if wait:
+            return self.runtime.flush_all(
+                directory, shard_threshold_bytes=shard_threshold_bytes, append=append
+            )
+        future = self.runtime.flush_all_async(
             directory, shard_threshold_bytes=shard_threshold_bytes, append=append
         )
+        self._background.append((self.runtime, future))
+        return future
 
     def compact_lineage(
         self,
@@ -481,12 +510,38 @@ class SubZero:
     # -- lifecycle ------------------------------------------------------------------------------
 
     def close(self) -> None:
-        """Release every open lineage mapping (catalog cache included).
+        """Join pending background flushes, then release every open lineage
+        mapping (catalog cache included).
 
         Safe to call twice; a closed engine can still re-run or re-load —
-        closing only drops what is currently mapped."""
+        closing only drops what is currently mapped.  The first exception a
+        background flush or encode raised (typically a
+        :class:`~repro.errors.StorageError`) re-raises here, after every
+        runtime has released its mappings."""
+        background, self._background = self._background, []
+        first: BaseException | None = None
+        for runtime, future in background:
+            try:
+                future.result()
+            except BaseException as exc:
+                if first is None:
+                    first = exc
+        for runtime, _ in background:
+            if runtime is self.runtime:
+                continue
+            try:
+                runtime.close()
+            except BaseException as exc:
+                if first is None:
+                    first = exc
         if self.runtime is not None:
-            self.runtime.close()
+            try:
+                self.runtime.close()
+            except BaseException as exc:
+                if first is None:
+                    first = exc
+        if first is not None:
+            raise first
 
     def __enter__(self) -> "SubZero":
         return self

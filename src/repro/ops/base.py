@@ -32,6 +32,7 @@ from repro.core.model import (
     ElementwiseBatch,
     LineageSink,
     PayloadBatch,
+    RegionBatch,
     RegionPair,
 )
 from repro.core.modes import LineageMode
@@ -85,8 +86,10 @@ class LineageContext:
 
     def lwrite_payload(self, outcells, payload: bytes) -> None:
         """Record one payload pair (``lwrite(outcells, payload)`` in Table I)."""
+        if type(payload) is not bytes:  # zero-copy when already immutable
+            payload = bytes(payload)
         self.sink.add_pair(
-            RegionPair(outcells=C.as_coord_array(outcells), payload=bytes(payload))
+            RegionPair(outcells=C.as_coord_array(outcells), payload=payload)
         )
 
     def lwrite_elementwise(self, outcells, *incells) -> None:
@@ -102,6 +105,44 @@ class LineageContext:
         """Bulk form: output cell ``i`` carries ``payloads[i]``."""
         self.sink.add_payload_batch(
             PayloadBatch(outcells=C.as_coord_array(outcells), payloads=payloads)
+        )
+
+    def lwrite_batch(self, out_coords, out_offsets, in_coords, in_offsets) -> None:
+        """Columnar bulk form: ``n`` full region pairs in one call.
+
+        Pair ``i`` spans ``out_coords[out_offsets[i]:out_offsets[i+1]]`` and,
+        per input ``k``, ``in_coords[k][in_offsets[k][i]:in_offsets[k][i+1]]``.
+        This is the zero-object capture path: built-in operators emit their
+        whole lineage as one descriptor and the stores lower it lazily.
+        """
+        self.sink.add_region_batch(
+            RegionBatch(
+                out_coords=C.as_coord_array(out_coords),
+                out_offsets=np.asarray(out_offsets, dtype=np.int64),
+                in_coords=tuple(C.as_coord_array(cells) for cells in in_coords),
+                in_offsets=tuple(
+                    np.asarray(off, dtype=np.int64) for off in in_offsets
+                ),
+            )
+        )
+
+    def lwrite_payload_regions(
+        self, out_coords, out_offsets, payloads: bytes, payload_offsets
+    ) -> None:
+        """Columnar bulk form for payload pairs with multi-cell out regions.
+
+        Pair ``i`` spans ``out_coords[out_offsets[i]:out_offsets[i+1]]`` and
+        carries ``payloads[payload_offsets[i]:payload_offsets[i+1]]``.
+        """
+        if type(payloads) is not bytes:
+            payloads = bytes(payloads)
+        self.sink.add_region_batch(
+            RegionBatch(
+                out_coords=C.as_coord_array(out_coords),
+                out_offsets=np.asarray(out_offsets, dtype=np.int64),
+                payloads=payloads,
+                payload_offsets=np.asarray(payload_offsets, dtype=np.int64),
+            )
         )
 
 
@@ -191,12 +232,15 @@ class Operator:
     ) -> None:
         """Emit region pairs via ``ctx.lwrite*``.
 
-        The default covers two cases so built-ins need no extra code when a
-        tracing re-execution asks for ``FULL`` (§V-B): mapping operators
-        derive exact pairs from ``map_b_many`` one output cell at a time;
-        anything else degrades to a single all-to-all pair.
+        The default covers three cases so built-ins need no extra code when a
+        tracing re-execution asks for ``FULL`` (§V-B): all-to-all operators
+        emit one exact pair (checked *before* the mapping path — a global
+        aggregate supporting ``MAP`` would otherwise expand the identical
+        all-to-all relation once per output cell); mapping operators derive
+        exact per-cell pairs from one :meth:`map_b_batch` pass; anything else
+        degrades to a single all-to-all pair.
         """
-        if LineageMode.MAP in self.supported_modes():
+        if not self.all_to_all and LineageMode.MAP in self.supported_modes():
             self._trace_full_from_map(output, ctx)
             return
         outcells = C.all_coords(output.shape)
@@ -204,11 +248,26 @@ class Operator:
         ctx.lwrite(outcells, *incells)
 
     def _trace_full_from_map(self, output: SciArray, ctx: LineageContext) -> None:
+        """One batch pass: each output cell becomes its own region pair."""
         outcells = C.all_coords(output.shape)
-        for row in outcells:
-            cell = row.reshape(1, -1)
-            ins = [self.map_b_many(cell, i) for i in range(self.arity)]
-            ctx.lwrite(cell, *ins)
+        results = [self.map_b_batch(outcells, i) for i in range(self.arity)]
+        if all(counts.size and (counts == 1).all() for _, counts in results):
+            # one-to-one everywhere: reuse the elementwise fast path
+            ctx.lwrite_elementwise(outcells, *[cells for cells, _ in results])
+            return
+        n = outcells.shape[0]
+        out_offsets = np.arange(n + 1, dtype=np.int64)
+        in_offsets = []
+        for _, counts in results:
+            off = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(counts, out=off[1:])
+            in_offsets.append(off)
+        ctx.lwrite_batch(
+            outcells,
+            out_offsets,
+            [cells for cells, _ in results],
+            in_offsets,
+        )
 
     # -- lineage declarations (Table I) ------------------------------------------
 
@@ -226,6 +285,33 @@ class Operator:
             self._require_bound()
             return C.all_coords(self.input_shapes[input_idx])
         raise LineageError(f"{self.name} defines no backward mapping function")
+
+    def map_b_batch(
+        self, out_coords: np.ndarray, input_idx: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Row-wise ``map_b``: per-output-cell backward lineage in one pass.
+
+        Returns ``(in_coords, counts)`` where output row ``i`` depends on
+        ``counts[i]`` consecutive rows of ``in_coords`` (rows appear in
+        output-row order).  Unlike :meth:`map_b_many` this keeps per-row
+        boundaries, so tracing re-execution can emit exact region pairs
+        without a per-cell Python loop.  The default loops over rows calling
+        :meth:`map_b_many`; built-in operators override it with vectorised
+        implementations.
+        """
+        out_coords = C.as_coord_array(out_coords)
+        n = out_coords.shape[0]
+        pieces: list[np.ndarray] = []
+        counts = np.empty(n, dtype=np.int64)
+        for i in range(n):
+            cells = self.map_b_many(out_coords[i : i + 1], input_idx)
+            pieces.append(cells)
+            counts[i] = cells.shape[0]
+        if not pieces:
+            self._require_bound()
+            ndim = len(self.input_shapes[input_idx])
+            return C.empty_coords(ndim), counts
+        return np.concatenate(pieces), counts
 
     def map_f_many(self, in_coords: np.ndarray, input_idx: int) -> np.ndarray:
         """Union of the forward lineage of ``in_coords`` from input ``input_idx``."""

@@ -69,6 +69,10 @@ class UnaryElementwise(Operator):
     def map_f_many(self, in_coords: np.ndarray, input_idx: int) -> np.ndarray:
         return C.as_coord_array(in_coords, ndim=len(self.input_shapes[input_idx]))
 
+    def map_b_batch(self, out_coords, input_idx):
+        out_coords = C.as_coord_array(out_coords, ndim=len(self.output_shape))
+        return out_coords, np.ones(out_coords.shape[0], dtype=np.int64)
+
 
 class BinaryElementwise(Operator):
     """``out[c] = fn(a[c], b[c])`` over two same-shape inputs."""
@@ -101,6 +105,10 @@ class BinaryElementwise(Operator):
 
     def map_f_many(self, in_coords: np.ndarray, input_idx: int) -> np.ndarray:
         return C.as_coord_array(in_coords, ndim=len(self.input_shapes[input_idx]))
+
+    def map_b_batch(self, out_coords, input_idx):
+        out_coords = C.as_coord_array(out_coords, ndim=len(self.output_shape))
+        return out_coords, np.ones(out_coords.shape[0], dtype=np.int64)
 
 
 class BroadcastCombine(Operator):
@@ -149,6 +157,15 @@ class BroadcastCombine(Operator):
         if in_coords.shape[0] == 0:
             return C.empty_coords(len(self.output_shape))
         return C.all_coords(self.output_shape)
+
+    def map_b_batch(self, out_coords, input_idx):
+        out_coords = C.as_coord_array(out_coords, ndim=len(self.output_shape))
+        n = out_coords.shape[0]
+        ones = np.ones(n, dtype=np.int64)
+        if input_idx == 0:
+            return out_coords, ones
+        # every output cell depends on the one statistic cell
+        return np.repeat(C.all_coords(self.input_shapes[1]), n, axis=0), ones
 
 
 # -- concrete unary built-ins --------------------------------------------------

@@ -7,19 +7,27 @@ one: 429 raises :class:`~repro.errors.QueueFullError`, 400 raises
 :class:`~repro.errors.QueryError`, everything else unexpected raises
 :class:`~repro.errors.ProtocolError`.
 
-Connection establishment retries with linear backoff (a daemon that is
-still binding its socket looks like ``ConnectionRefusedError`` for a few
-milliseconds); errors *after* a connection was made are never retried —
-the daemon may have executed the query, and blind re-send would double
-side effects and load.
+Connections are pooled: each thread keeps one ``HTTPConnection`` alive
+across calls (the daemon speaks HTTP/1.1 keep-alive), so a query costs one
+round-trip, not a TCP handshake plus a round-trip.  Connection
+establishment retries with linear backoff (a daemon that is still binding
+its socket looks like ``ConnectionRefusedError`` for a few milliseconds).
+A *reused* connection whose socket went stale (the daemon timed it out
+between calls) fails at send time before any bytes reach the server — that
+one case reconnects and re-sends, exactly once.  Errors after the request
+reached the wire are never retried — the daemon may have executed the
+query, and blind re-send would double side effects and load.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import socket
+import threading
 import time
 
+from repro.analysis import lockcheck
 from repro.core.query import QueryRequest
 from repro.errors import ProtocolError, QueryError, QueueFullError
 from repro.serving import protocol
@@ -29,8 +37,8 @@ __all__ = ["DaemonClient"]
 
 class DaemonClient:
     """One daemon endpoint, many calls; safe to share across threads
-    (every call opens its own connection — the daemon's admission gate,
-    not client-side pooling, is the concurrency control)."""
+    (each thread pools its own keep-alive connection — the daemon's
+    admission gate, not client-side pooling, is the concurrency control)."""
 
     def __init__(
         self,
@@ -40,6 +48,7 @@ class DaemonClient:
         timeout: float = 60.0,
         connect_retries: int = 40,
         connect_delay: float = 0.05,
+        keep_alive: bool = True,
     ):
         self.host = host
         self.port = port
@@ -49,6 +58,15 @@ class DaemonClient:
         self.timeout = timeout
         self.connect_retries = connect_retries
         self.connect_delay = connect_delay
+        #: False opens a fresh connection per call (the pre-pooling
+        #: behaviour; bench_serving measures the difference)
+        self.keep_alive = keep_alive
+        self._local = threading.local()
+        #: every pooled connection across threads, so close() can drop the
+        #: lot — a thread whose pooled socket was closed under it just
+        #: reconnects via the stale-socket path on its next call
+        self._pooled: set[http.client.HTTPConnection] = set()
+        self._pooled_lock = lockcheck.make_lock("serving.client.pool")
 
     # -- protocol calls ------------------------------------------------------
 
@@ -96,17 +114,83 @@ class DaemonClient:
 
     # -- transport -----------------------------------------------------------
 
-    def _call(self, method: str, path: str, body: bytes | None = None):
-        conn = self._connect()
+    def close(self) -> None:
+        """Close every pooled connection (all threads).  The client stays
+        usable: the next call simply opens a fresh connection."""
+        if getattr(self._local, "conn", None) is not None:
+            self._local.conn = None
+        with self._pooled_lock:
+            conns, self._pooled = list(self._pooled), set()
+        for conn in conns:
+            conn.close()
+
+    def __enter__(self) -> "DaemonClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):
         try:
-            headers = {"Content-Type": "application/json"}
-            if self.client_id is not None:
-                headers["X-SubZero-Client"] = self.client_id
+            self.close()
+        except Exception:
+            pass
+
+    def _checkout(self) -> tuple[http.client.HTTPConnection, bool]:
+        """This thread's pooled connection (reused=True) or a fresh one."""
+        if self.keep_alive:
+            conn = getattr(self._local, "conn", None)
+            if conn is not None:
+                return conn, True
+        return self._connect(), False
+
+    def _discard(self, conn: http.client.HTTPConnection) -> None:
+        if getattr(self._local, "conn", None) is conn:
+            self._local.conn = None
+        with self._pooled_lock:
+            self._pooled.discard(conn)
+        conn.close()
+
+    def _checkin(self, conn: http.client.HTTPConnection, response) -> None:
+        """Pool the connection for the next call unless the response closed
+        it (``Connection: close``, or keep-alive disabled)."""
+        if self.keep_alive and not response.will_close:
+            self._local.conn = conn
+            with self._pooled_lock:
+                self._pooled.add(conn)
+        else:
+            self._discard(conn)
+
+    def _call(self, method: str, path: str, body: bytes | None = None):
+        headers = {"Content-Type": "application/json"}
+        if self.client_id is not None:
+            headers["X-SubZero-Client"] = self.client_id
+        conn, reused = self._checkout()
+        try:
             conn.request(method, path, body=body, headers=headers)
+        except (ConnectionError, http.client.CannotSendRequest, OSError):
+            # Failure at send time: nothing reached the daemon.  On a
+            # reused connection this is the stale keep-alive socket case
+            # (the daemon idled it out between calls) — reconnect and
+            # re-send, exactly once.  A fresh connection failing here is a
+            # real error.  Failures after getresponse() began are NEVER
+            # retried: the daemon may have executed the query.
+            self._discard(conn)
+            if not reused:
+                raise
+            conn, _ = self._connect(), False
+            try:
+                conn.request(method, path, body=body, headers=headers)
+            except BaseException:
+                self._discard(conn)
+                raise
+        try:
             response = conn.getresponse()
             data = response.read()
-        finally:
-            conn.close()
+        except BaseException:
+            self._discard(conn)
+            raise
+        self._checkin(conn, response)
         try:
             obj = json.loads(data) if data else {}
         except ValueError as exc:
@@ -124,6 +208,10 @@ class DaemonClient:
             )
             try:
                 conn.connect()
+                # http.client writes headers and body as separate segments;
+                # on a reused keep-alive socket Nagle holds the second one
+                # for the server's delayed ACK (~40ms/query) — disable it
+                conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
                 return conn
             except ConnectionRefusedError as exc:
                 conn.close()

@@ -173,6 +173,10 @@ class _DaemonServer(ThreadingHTTPServer):
     daemon_threads = True
     #: fast rebinds across back-to-back daemon restarts in tests
     allow_reuse_address = True
+    #: backpressure is the admission gate's job (429), not the kernel's:
+    #: a connection flood must reach the handlers, not die as SYN-queue
+    #: drops/resets against socketserver's default backlog of 5
+    request_queue_size = 128
 
     def __init__(self, address: tuple[str, int], daemon: "QueryDaemon"):
         self.subzero_daemon = daemon
@@ -184,6 +188,9 @@ class _RequestHandler(BaseHTTPRequestHandler):
 
     protocol_version = "HTTP/1.1"
     server_version = "subzero-serving/" + str(protocol.PROTOCOL_VERSION)
+    #: keep-alive responses must not sit in Nagle's buffer waiting for the
+    #: client's delayed ACK — flush each small response segment immediately
+    disable_nagle_algorithm = True
 
     @property
     def daemon(self) -> "QueryDaemon":

@@ -78,8 +78,10 @@ class HashStore:
             return
         if offsets[0] != 0 or offsets[-1] != len(buf) or (np.diff(offsets) < 0).any():
             raise StorageError("offsets must be non-decreasing and span buf")
+        if type(buf) is not bytes:  # zero-copy when already immutable
+            buf = bytes(buf)
         # szlint: ignore[SZ006] -- ingest is single-writer by contract; _flock only guards the finalize merge
-        self._chunks.append(_Chunk(keys, offsets, bytes(buf)))
+        self._chunks.append(_Chunk(keys, offsets, buf))
         self._dirty = True
 
     def put_many_fixed(self, keys: np.ndarray, values: np.ndarray) -> None:
@@ -369,8 +371,10 @@ class BlobStore:
             self._pending = []
 
     def append(self, data: bytes) -> int:
+        if type(data) is not bytes:  # zero-copy when already immutable
+            data = bytes(data)
         # szlint: ignore[SZ006] -- ingest is single-writer by contract; _flock only guards the finalize merge
-        self._pending.append(bytes(data))
+        self._pending.append(data)
         self._probes = {}
         self._probe_source = None
         return self._ends.size + len(self._pending) - 1
@@ -383,6 +387,35 @@ class BlobStore:
         self._probes = {}
         self._probe_source = None
         return np.arange(start, len(self), dtype=np.int64)
+
+    def append_buffer(self, buf, lengths: np.ndarray) -> np.ndarray:
+        """Append many blobs at once from one concatenated buffer.
+
+        Blob ``i`` spans ``lengths[i]`` bytes starting where blob ``i - 1``
+        ended; returns the assigned ids.  The bulk counterpart of
+        :meth:`append_many` for the deferred-capture write path — one heap
+        extension, no per-blob Python objects.
+        """
+        lengths = np.ascontiguousarray(lengths, dtype=np.int64)
+        if (lengths < 0).any():
+            raise StorageError("blob lengths must be non-negative")
+        if int(lengths.sum()) != len(buf):
+            raise StorageError("blob lengths do not span the buffer")
+        if lengths.size == 0:
+            return np.empty(0, dtype=np.int64)
+        with self._flock:
+            self._finalize()
+            base = self._ends.size
+            if not isinstance(self._buf, bytearray):
+                self._buf = bytearray(self._buf)
+            shift = len(self._buf)
+            self._buf += buf
+            ends = shift + np.cumsum(lengths)
+            self._starts = np.concatenate([self._starts, ends - lengths])
+            self._ends = np.concatenate([self._ends, ends])
+            self._probes = {}
+            self._probe_source = None
+            return np.arange(base, base + lengths.size, dtype=np.int64)
 
     def extend_from(self, other: "BlobStore") -> int:
         """Append every blob of ``other``; returns the id *base* — the

@@ -16,7 +16,6 @@ from repro.arrays.versions import VersionStore
 from repro.core.runtime import LineageRuntime
 from repro.errors import WorkflowError
 from repro.ops.base import LineageContext
-from repro.core.model import BufferSink
 from repro.storage.wal import InvocationRecord, WriteAheadLog
 from repro.workflow.instance import NodeExecution, WorkflowInstance
 from repro.workflow.spec import WorkflowSpec
@@ -64,7 +63,7 @@ def execute_workflow(
         runtime.prepare_node(node_name, op)
 
         cur_modes = runtime.cur_modes(node_name, op)
-        sink = BufferSink()
+        sink = runtime.make_sink()
         ctx = LineageContext(cur_modes=cur_modes, sink=sink, node=node_name)
 
         start = time.perf_counter()
@@ -110,4 +109,7 @@ def execute_workflow(
             compute_seconds=compute_seconds,
             lineage_seconds=lineage_seconds,
         )
+    # Join any background encodes before handing the instance back, so a
+    # deferred run's lineage is queryable (and failures surface) on return.
+    runtime.drain_capture()
     return instance
