@@ -81,7 +81,7 @@ from typing import Iterable, Mapping
 from repro.analysis import lockcheck
 from repro.core.lineage_store import OpLineageStore, make_store
 from repro.core.modes import EncodingKind, LineageMode, Orientation, StorageStrategy
-from repro.core.overlay import OverlayStore
+from repro.core.overlay import FilterStats, OverlayStore
 from repro.errors import StorageError
 from repro.storage import segment as seglib
 
@@ -145,6 +145,10 @@ class CatalogEntry:
     shards: tuple[str, ...] = ()
     #: generation ordinal; 0 is the base segment, higher is a newer delta
     gen: int = 0
+    #: True when the segment carries bloom/zone filter sections, so overlay
+    #: reads can skip this generation decode-free (pre-filter segments have
+    #: none and are always read)
+    filters: bool = False
 
     @property
     def key(self) -> tuple[str, StorageStrategy]:
@@ -279,6 +283,9 @@ class StoreCatalog:
         self._evictions = 0
         self._promotions = 0
         self._ghost_hits = 0
+        #: shared generation-skip counters, injected into every overlay this
+        #: catalog opens so :meth:`stats` sees process-wide filter hit rates
+        self._filter_stats = FilterStats()
 
     # -- writing -------------------------------------------------------------
 
@@ -331,6 +338,7 @@ class StoreCatalog:
                     nbytes=nbytes,
                     lowered=store.lowered_ready(),
                     shards=shards,
+                    filters=store.persists_filters(),
                 )
             )
             # a full flush supersedes every delta generation of this store
@@ -368,6 +376,10 @@ class StoreCatalog:
                         # gen 0 stays implicit so a never-appended manifest is
                         # byte-compatible with the pre-generation schema
                         obj["gen"] = entry.gen
+                    if entry.filters:
+                        # like gen/shards: optional and additive, so catalogs
+                        # written before filters round-trip byte-identically
+                        obj["filters"] = True
                     stores.append(obj)
         manifest = {"format": FORMAT, "version": VERSION, "stores": stores}
         path = os.path.join(self.directory, MANIFEST_NAME)
@@ -514,6 +526,7 @@ class StoreCatalog:
             lowered=store.lowered_ready(),
             shards=shards,
             gen=gen,
+            filters=store.persists_filters(),
         )
         with self._lock:
             merged = self._entries.get(key, ()) + (entry,)
@@ -663,6 +676,7 @@ class StoreCatalog:
             lowered=merged.lowered_ready(),
             shards=shards,
             gen=0,
+            filters=merged.persists_filters(),
         )
         stale = [
             os.path.join(self.directory, e.file) for e in generations if e.gen != 0
@@ -731,6 +745,7 @@ class StoreCatalog:
                         lowered=bool(obj.get("lowered", False)),
                         shards=tuple(obj.get("shards", ())),
                         gen=int(obj.get("gen", 0)),
+                        filters=bool(obj.get("filters", False)),
                     )
                 )
         except (KeyError, TypeError, ValueError) as exc:
@@ -811,6 +826,13 @@ class StoreCatalog:
         an overlay scan is warm iff each generation's pass is."""
         generations = self._entries.get((node, strategy), ())
         return bool(generations) and all(e.lowered for e in generations)
+
+    def filters_ready(self, node: str, strategy: StorageStrategy) -> bool:
+        """True only when *every* generation persisted its key filters —
+        the cost model may then price matched overlay reads at the
+        filter-skip rate instead of the full per-generation probe rate."""
+        generations = self._entries.get((node, strategy), ())
+        return bool(generations) and all(e.filters for e in generations)
 
     # -- serving: borrow / release (the pinned path) --------------------------
 
@@ -911,7 +933,7 @@ class StoreCatalog:
             raise
         if len(stores) == 1:
             return stores[0]
-        return OverlayStore(stores)
+        return OverlayStore(stores, filter_stats=self._filter_stats)
 
     def release(self, record: _OpenStore) -> None:
         """Drop one pin; a record evicted while pinned closes on the last
@@ -983,16 +1005,26 @@ class StoreCatalog:
             # 2Q victim order: probationary (never re-referenced) stores go
             # first, in FIFO arrival order — a one-off scan churns only its
             # own admissions.  Protected stores are plain LRU and fall only
-            # when no unpinned probationary victim remains.
+            # when no unpinned probationary victim remains.  Within a tier,
+            # multi-generation overlays (cold deltas awaiting compaction,
+            # cheap to re-open and due to be merged anyway) fall before
+            # single-generation bases at the same recency.
             for wanted_tier in ("probation", "protected"):
+                fallback = None
                 for key, record in self._open.items():
                     if (
-                        record.tier == wanted_tier
-                        and record.pins <= 0
-                        and record is not exclude
+                        record.tier != wanted_tier
+                        or record.pins > 0
+                        or record is exclude
                     ):
+                        continue
+                    if len(self._entries.get(key, ())) > 1:
                         victim_key = key
                         break
+                    if fallback is None:
+                        fallback = key
+                if victim_key is None:
+                    victim_key = fallback
                 if victim_key is not None:
                     break
             if victim_key is None:
@@ -1094,7 +1126,7 @@ class StoreCatalog:
     def stats(self) -> dict[str, int]:
         """Serving-cache counters for benchmarks and ``explain()``."""
         with self._lock:
-            return {
+            out = {
                 "hits": self._hits,
                 "misses": self._misses,
                 "evictions": self._evictions,
@@ -1103,6 +1135,9 @@ class StoreCatalog:
                 "open_mappings": len(self._open) + len(self._lingering),
                 "resident_bytes": self._resident_bytes_locked(),
             }
+        # the filter counters have their own lock; merged outside ours
+        out.update(self._filter_stats.snapshot())
+        return out
 
     def is_catalog_store(
         self, node: str, strategy: StorageStrategy, store: OpLineageStore

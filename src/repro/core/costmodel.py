@@ -64,6 +64,11 @@ class CostConstants:
     # per-generation surcharge is what lets the optimizer see un-compacted
     # appends and recommend compaction (overlay_penalty_seconds).
     gen_overlay_s: float = 2.5e-4  # per extra live generation consulted
+    # bloom/zone filter probe: a generation whose segment persisted key
+    # filters answers a matched probe with a decode-free membership check,
+    # so filtered overlays pay this per cell per extra generation instead
+    # of the full index-probe rate above.
+    filter_probe_s: float = 2.0e-7  # per query cell, bloom + zone-map check
 
     @classmethod
     def calibrate(cls, n: int = 50_000, seed: int = 0) -> "CostConstants":
@@ -245,6 +250,7 @@ class CostModel:
         lowered_ready: bool = False,
         reopen_bytes: int = 0,
         generations: int = 1,
+        filtered: bool = False,
     ) -> float:
         """Estimated cost of one query step over ``n_query_cells``.
 
@@ -265,6 +271,11 @@ class CostModel:
         (:meth:`overlay_penalty_seconds`), so the optimizer sees
         un-compacted appends — and a strategy whose overlay grew expensive
         loses honestly to alternatives until a compaction runs.
+
+        ``filtered`` marks an overlay whose every generation persisted its
+        bloom/zone key filters (``catalog.filters_ready``): matched reads
+        then skip non-owning generations after a cheap membership check,
+        so the per-generation repeat is priced at the filter-probe rate.
         """
         s = self.stats.get(node)
         k = self.k
@@ -285,7 +296,7 @@ class CostModel:
             # amplification is already folded into the EMA
             return measured + reopen
         overlay = self.overlay_penalty_seconds(
-            node, strategy, direction_backward, n, generations
+            node, strategy, direction_backward, n, generations, filtered=filtered
         )
         entries = self._entries(s, strategy)
         probe = (
@@ -324,6 +335,7 @@ class CostModel:
         direction_backward: bool,
         n_query_cells: int,
         generations: int,
+        filtered: bool = False,
     ) -> float:
         """Read-amplification surcharge of serving ``generations`` live
         generations instead of one compacted segment.
@@ -333,7 +345,13 @@ class CostModel:
         pass (``gen_overlay_s``: an extra batch-scan/lowered-table pass, or
         the payload-column stitch).  This is also the *estimated saving per
         query* a compaction buys, which is how ``SubZero.compaction_advice``
-        ranks candidates."""
+        ranks candidates.
+
+        ``filtered`` means every generation carries persisted key filters:
+        the matched repeat degrades from an index probe per generation to a
+        bloom/zone check per generation (``filter_probe_s``) — much
+        cheaper, but still growing with the generation count, so advice
+        keeps firing and compaction still pays for itself eventually."""
         if generations <= 1 or not strategy.stores_pairs:
             return 0.0
         k = self.k
@@ -350,7 +368,12 @@ class CostModel:
             or (strategy.orientation is Orientation.BACKWARD)
         ) == direction_backward
         if matched:
-            penalty += extra * n * probe
+            if filtered:
+                # filters skip non-owning generations after a membership
+                # check; only the (rare) owning generation pays its probe
+                penalty += extra * n * k.filter_probe_s
+            else:
+                penalty += extra * n * probe
         return penalty
 
     @staticmethod

@@ -67,6 +67,7 @@ from repro.core.modes import (
 )
 from repro.errors import LineageError, StorageError
 from repro.storage import codecs
+from repro.storage import filters as filterlib
 from repro.storage import segment as seglib
 from repro.storage import serialize as ser
 from repro.storage.kvstore import BlobStore, HashStore, _gather_slices
@@ -678,6 +679,10 @@ class OpLineageStore:
         #: hydrated from disk (owned: ``close()`` releases it); None for
         #: resident stores built by ingest
         self._segment = None
+        #: per-tag :class:`~repro.storage.filters.GenerationFilter` loaded
+        #: from the segment's filter sections; None for resident stores and
+        #: segments that predate filters (probes then answer "may contain")
+        self._filters: dict | None = None
 
     # -- writes -------------------------------------------------------------
 
@@ -705,6 +710,35 @@ class OpLineageStore:
     def _components(self) -> dict[str, object]:
         """Named sub-stores, for flush/load; overridden per layout."""
         return {}
+
+    def _filter_key_arrays(self) -> dict[str, tuple[np.ndarray, tuple]]:
+        """The matched-read key surfaces to summarise at flush time:
+        ``tag -> (packed keys, shape)``.  Backward-keyed layouts expose one
+        surface (``"b"``, output-packed); forward layouts one per input
+        (``"f<i>"``, input-packed).  Overridden per layout; an empty dict
+        flushes no filter sections."""
+        return {}
+
+    def persists_filters(self) -> bool:
+        """True when :meth:`flush_segment` will write bloom/zone filter
+        sections for this store (feeds the catalog manifest's ``filters``
+        flag, answered later without opening the segment)."""
+        return bool(self._filter_key_arrays())
+
+    def filter_decision(self, tag: str, qpacked: np.ndarray):
+        """Tri-state generation-skip probe for overlay reads.
+
+        ``False``: this store provably holds none of the query keys on
+        surface ``tag`` (exact — the read may be skipped).  ``True``: it
+        may hold some (bloom/zone passed).  ``None``: no filter available
+        (resident store, pre-filter segment, unknown tag) — the caller
+        must read."""
+        if self._filters is None:
+            return None
+        f = self._filters.get(tag)
+        if f is None:
+            return None
+        return f.may_contain(qpacked)
 
     def _set_component(self, name: str, obj) -> None:
         raise StorageError(f"{type(self).__name__} has no component {name!r}")
@@ -752,6 +786,15 @@ class OpLineageStore:
         )
         for name, component in self._components().items():
             component.dump(writer, prefix=f"{name}.")
+        surfaces = self._filter_key_arrays()
+        if surfaces:
+            filterlib.dump_filters(
+                writer,
+                {
+                    tag: filterlib.GenerationFilter.build(keys, shape)
+                    for tag, (keys, shape) in surfaces.items()
+                },
+            )
         if shard_threshold_bytes is not None:
             nbytes, _ = writer.write_sharded(
                 path, shard_threshold_bytes, stale_sink=stale_sink
@@ -791,6 +834,7 @@ class OpLineageStore:
                     name,
                     RegionEntryTable.from_segment(seg, prefix, component.key_shape),
                 )
+        self._filters = filterlib.load_filters(seg)
         old = self._segment
         self._segment = seg
         if old is not None and old is not seg:
@@ -808,6 +852,10 @@ class OpLineageStore:
         seg, self._segment = self._segment, None
         if seg is None:
             return
+        # filters hold mmap-backed bit views; drop them so the mapping can
+        # unmap (probes on a closed store then answer None, and the read
+        # they force hits the poison components below — loud, not empty)
+        self._filters = None
         what = f"({self.node!r}, {self.strategy.label})"
         for name in self._components():
             self._set_component(name, _ClosedComponent(what))
@@ -972,6 +1020,11 @@ class _FullBackwardOne(OpLineageStore):
         else:
             self._blobs = obj
 
+    def _filter_key_arrays(self):
+        keys = [s.keys_array() for s in self._direct]
+        keys.append(self._refs.keys_array())
+        return {"b": (_concat(keys), self.out_shape)}
+
     def ingest(self, sink: BufferSink) -> None:
         for batch in sink.elementwise:
             out_packed = C.pack_coords(batch.outcells, self.out_shape)
@@ -1091,6 +1144,9 @@ class _FullBackwardMany(OpLineageStore):
     def _set_component(self, name, obj):
         self._table = obj
 
+    def _filter_key_arrays(self):
+        return {"b": (self._table.all_key_cells(), self.out_shape)}
+
     def ingest(self, sink: BufferSink) -> None:
         for batch in sink.elementwise:
             out_packed = C.pack_coords(batch.outcells, self.out_shape)
@@ -1197,6 +1253,15 @@ class _FullForwardOne(OpLineageStore):
             self._refs[int(name[5:])] = obj
         else:
             self._blobs = obj
+
+    def _filter_key_arrays(self):
+        return {
+            f"f{i}": (
+                _concat([self._direct[i].keys_array(), self._refs[i].keys_array()]),
+                self.in_shapes[i],
+            )
+            for i in range(self.arity)
+        }
 
     def ingest(self, sink: BufferSink) -> None:
         for batch in sink.elementwise:
@@ -1307,6 +1372,12 @@ class _FullForwardMany(OpLineageStore):
 
     def _set_component(self, name, obj):
         self._tables[int(name[5:])] = obj
+
+    def _filter_key_arrays(self):
+        return {
+            f"f{i}": (table.all_key_cells(), self.in_shapes[i])
+            for i, table in enumerate(self._tables)
+        }
 
     def ingest(self, sink: BufferSink) -> None:
         for batch in sink.elementwise:
@@ -1420,6 +1491,9 @@ class _PayBackwardOne(OpLineageStore):
     def _set_component(self, name, obj):
         self._hash = obj
 
+    def _filter_key_arrays(self):
+        return {"b": (self._hash.keys_array(), self.out_shape)}
+
     def ingest(self, sink: BufferSink) -> None:
         for batch in sink.payload_batches:
             out_packed = C.pack_coords(batch.outcells, self.out_shape)
@@ -1510,6 +1584,9 @@ class _PayBackwardMany(OpLineageStore):
 
     def _set_component(self, name, obj):
         self._table = obj
+
+    def _filter_key_arrays(self):
+        return {"b": (self._table.all_key_cells(), self.out_shape)}
 
     def ingest(self, sink: BufferSink) -> None:
         for batch in sink.payload_batches:

@@ -41,7 +41,46 @@ import numpy as np
 from repro.analysis import lockcheck
 from repro.core.lineage_store import OpLineageStore, _concat, make_store
 
-__all__ = ["OverlayStore"]
+__all__ = ["FilterStats", "OverlayStore"]
+
+
+class FilterStats:
+    """Shared counters for the overlay's generation-skip filters.
+
+    One instance is owned by the :class:`~repro.core.catalog.StoreCatalog`
+    and injected into every overlay it opens, so the serving stats see the
+    whole process's filter effectiveness; a standalone overlay makes its
+    own.  Counters accumulate once per read call (not per generation) to
+    keep the hot path to a single short lock acquisition.
+    """
+
+    __slots__ = ("_lock", "filter_probes", "generations_skipped", "bloom_fp")
+
+    def __init__(self):
+        self._lock = lockcheck.make_lock("overlay.filterstats")
+        #: generation probes that had a filter to consult
+        self.filter_probes = 0
+        #: probes answered False — the generation's read was skipped
+        self.generations_skipped = 0
+        #: probes answered True whose read then matched nothing (bloom /
+        #: zone false positives; the overlay read stayed correct, just paid)
+        self.bloom_fp = 0
+
+    def record(self, probes: int, skipped: int, fp: int) -> None:
+        if not (probes or skipped or fp):
+            return
+        with self._lock:
+            self.filter_probes += probes
+            self.generations_skipped += skipped
+            self.bloom_fp += fp
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "filter_probes": self.filter_probes,
+                "generations_skipped": self.generations_skipped,
+                "bloom_fp": self.bloom_fp,
+            }
 
 
 class _OverlaySegments:
@@ -71,7 +110,11 @@ class _OverlaySegments:
 class OverlayStore(OpLineageStore):
     """Union view over one store's generations (see module docstring)."""
 
-    def __init__(self, stores: list[OpLineageStore]):
+    def __init__(
+        self,
+        stores: list[OpLineageStore],
+        filter_stats: FilterStats | None = None,
+    ):
         if not stores:
             raise ValueError("an overlay needs at least one generation")
         first = stores[0]
@@ -84,6 +127,8 @@ class OverlayStore(OpLineageStore):
         #: cached concatenation of the generations' payload columns
         self._merged_payload: tuple | None = None
         self._plock = lockcheck.make_lock("overlay.payload")
+        #: generation-skip counters (shared with the owning catalog)
+        self._fstats = filter_stats if filter_stats is not None else FilterStats()
 
     # -- introspection -------------------------------------------------------
 
@@ -113,6 +158,11 @@ class OverlayStore(OpLineageStore):
 
     def lowered_ready(self) -> bool:
         return all(store.lowered_ready() for store in self._gens)
+
+    def persists_filters(self) -> bool:
+        # a flush of the overlay writes the merged concrete store, whose
+        # layout is the generations' layout
+        return self._gens[0].persists_filters()
 
     # -- writes are a layout concern ------------------------------------------
 
@@ -144,45 +194,104 @@ class OverlayStore(OpLineageStore):
         )
 
     # -- matched-orientation reads --------------------------------------------
+    #
+    # Every matched read consults each generation's persisted bloom/zone
+    # filter (``filter_decision``) before touching it: a False is a proof
+    # of absence, so the generation's probe is skipped outright — this is
+    # what turns an O(generations) matched read back into ~O(1) on stores
+    # whose deltas partition the key space.  A None (no filter: resident
+    # store or pre-filter segment) always reads.  Counters accumulate once
+    # per call on the shared :class:`FilterStats`.
 
     def backward_full(self, qpacked, only_input=None):
-        matched = np.zeros(np.asarray(qpacked).size, dtype=bool)
+        qpacked = np.asarray(qpacked)
+        matched = np.zeros(qpacked.size, dtype=bool)
         per_input: list[list[np.ndarray]] = [[] for _ in range(self.arity)]
+        probes = skipped = fp = 0
         for store in reversed(self._gens):
+            decision = store.filter_decision("b", qpacked)
+            if decision is not None:
+                probes += 1
+                if not decision:
+                    skipped += 1
+                    continue
             m, per = store.backward_full(qpacked, only_input=only_input)
+            if decision and not m.any():
+                fp += 1
             matched |= m
             for i, cells in enumerate(per):
                 if cells.size:
                     per_input[i].append(cells)
+        self._fstats.record(probes, skipped, fp)
         return matched, [_concat(parts) for parts in per_input]
 
     def forward_full(self, qpacked, input_idx):
-        return _concat(
-            [store.forward_full(qpacked, input_idx) for store in reversed(self._gens)]
-        )
+        qpacked = np.asarray(qpacked)
+        tag = f"f{input_idx}"
+        parts: list[np.ndarray] = []
+        probes = skipped = fp = 0
+        for store in reversed(self._gens):
+            decision = store.filter_decision(tag, qpacked)
+            if decision is not None:
+                probes += 1
+                if not decision:
+                    skipped += 1
+                    continue
+            cells = store.forward_full(qpacked, input_idx)
+            if decision and cells.size == 0:
+                fp += 1
+            parts.append(cells)
+        self._fstats.record(probes, skipped, fp)
+        return _concat(parts)
 
     def backward_payload(self, qpacked):
-        matched = np.zeros(np.asarray(qpacked).size, dtype=bool)
+        qpacked = np.asarray(qpacked)
+        matched = np.zeros(qpacked.size, dtype=bool)
         pairs = []
+        probes = skipped = fp = 0
         for store in reversed(self._gens):
+            decision = store.filter_decision("b", qpacked)
+            if decision is not None:
+                probes += 1
+                if not decision:
+                    skipped += 1
+                    continue
             m, p = store.backward_payload(qpacked)
+            if decision and not m.any():
+                fp += 1
             matched |= m
             pairs.extend(p)
+        self._fstats.record(probes, skipped, fp)
         return matched, pairs
 
     def backward_payload_rows(self, qpacked):
-        matched = np.zeros(np.asarray(qpacked).size, dtype=bool)
+        qpacked = np.asarray(qpacked)
+        matched = np.zeros(qpacked.size, dtype=bool)
         hit_parts: list[np.ndarray] = []
         payloads: list = []
-        for store in reversed(self._gens):
-            rows = store.backward_payload_rows(qpacked)
-            if rows is None:  # a *Many generation: use the pair-based path
-                return None
-            m, hits, values = rows
-            matched |= m
-            if hits.size:
-                hit_parts.append(hits)
-                payloads.extend(values)
+        probes = skipped = fp = 0
+        try:
+            for store in reversed(self._gens):
+                decision = store.filter_decision("b", qpacked)
+                if decision is not None:
+                    probes += 1
+                    if not decision:
+                        # a filtered-out generation contributes nothing, so
+                        # it cannot force the pair-based fallback either
+                        skipped += 1
+                        continue
+                rows = store.backward_payload_rows(qpacked)
+                if rows is None:  # a *Many generation: use the pair-based path
+                    return None
+                m, hits, values = rows
+                if decision and not m.any():
+                    fp += 1
+                matched |= m
+                if hits.size:
+                    hit_parts.append(hits)
+                    payloads.extend(values)
+        finally:
+            self._fstats.record(probes, skipped, fp)
         return matched, _concat(hit_parts), payloads
 
     # -- mismatched-orientation reads ------------------------------------------

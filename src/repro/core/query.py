@@ -449,6 +449,18 @@ class QueryResult:
                     f"{c.get('capture_seconds', 0.0) * 1e3:.2f} ms foreground, "
                     f"{c.get('encode_thread_seconds', 0.0) * 1e3:.2f} ms encode thread"
                 )
+            if c.get("filter_probes", 0):
+                lines.append(
+                    f"  generation filters: {c.get('filter_probes', 0)} probes, "
+                    f"{c.get('generations_skipped', 0)} generations skipped, "
+                    f"{c.get('bloom_fp', 0)} bloom false positives"
+                )
+            if c.get("compactions_run", 0):
+                lines.append(
+                    f"  background maintenance: {c.get('compactions_run', 0)} "
+                    f"compactions, {c.get('bytes_merged', 0)} bytes merged, "
+                    f"{c.get('maintenance_seconds', 0.0) * 1e3:.2f} ms"
+                )
         return "\n".join(lines)
 
 
@@ -676,8 +688,10 @@ class QueryExecutor:
                 reopen_bytes=self.runtime.reopen_bytes(node, strategy),
                 # multi-generation scan planning: an un-compacted store pays
                 # one probe/scan pass per live generation, so its overlay
-                # amplification competes honestly here
+                # amplification competes honestly here — discounted to the
+                # filter-probe rate when every generation persisted filters
                 generations=self.runtime.generation_count(node, strategy),
+                filtered=self.runtime.filters_ready(node, strategy),
             )
             if cost < best_cost:
                 best, best_cost = strategy, cost

@@ -256,7 +256,8 @@ class LineageRuntime:
         counters — all zero unless ``REPRO_LOCKCHECK=1`` instrumented the
         locks (see :mod:`repro.analysis.lockcheck`) — plus the deferred-
         capture counters (capture/encode-thread seconds, parked pairs and
-        bytes)."""
+        bytes), plus the generation-filter and background-maintenance
+        counters."""
         if self._catalog is not None:
             stats = self._catalog.stats()
         else:
@@ -266,9 +267,13 @@ class LineageRuntime:
                 "evictions": 0,
                 "open_mappings": 0,
                 "resident_bytes": 0,
+                "filter_probes": 0,
+                "generations_skipped": 0,
+                "bloom_fp": 0,
             }
         stats.update(lockcheck.stats())
         stats.update(self.stats.capture)
+        stats.update(self.stats.maintenance)
         return stats
 
     def stores_for_node(self, node: str) -> list[OpLineageStore]:
@@ -287,6 +292,16 @@ class LineageRuntime:
             return store.lowered_ready()
         if self._catalog is not None:
             return self._catalog.lowered_ready(node, strategy)
+        return False
+
+    def filters_ready(self, node: str, strategy: StorageStrategy) -> bool:
+        """True when a catalog-served overlay of (node, strategy) can skip
+        non-owning generations via persisted key filters.  Resident stores
+        answer False: they are a single generation, nothing to skip."""
+        if (node, strategy) in self._stores:
+            return False
+        if self._catalog is not None:
+            return self._catalog.filters_ready(node, strategy)
         return False
 
     def generation_count(self, node: str, strategy: StorageStrategy) -> int:

@@ -128,6 +128,14 @@ class StatsCollector:
             "deferred_bytes": 0,
             "encode_thread_seconds": 0.0,
         }
+        #: background-maintenance counters: budgeted compaction slices the
+        #: maintenance worker ran, bytes it merged, and wall seconds it
+        #: spent doing so (all while the admission gate was idle)
+        self.maintenance: dict[str, float] = {
+            "compactions_run": 0,
+            "bytes_merged": 0,
+            "maintenance_seconds": 0.0,
+        }
 
     def get(self, node: str) -> OperatorStats:
         if node not in self._stats:
@@ -339,6 +347,17 @@ class StatsCollector:
         """Account time the pipelined-flush worker spent lowering deferred
         descriptors into the per-strategy stores."""
         self.capture["encode_thread_seconds"] += seconds
+
+    # -- maintenance-side hooks --------------------------------------------------
+
+    def record_maintenance(
+        self, compactions: int, bytes_merged: int, seconds: float
+    ) -> None:
+        """Account one background-maintenance slice: compactions completed,
+        segment bytes rewritten by the merge, wall time spent."""
+        self.maintenance["compactions_run"] += int(compactions)
+        self.maintenance["bytes_merged"] += int(bytes_merged)
+        self.maintenance["maintenance_seconds"] += seconds
 
     # -- persistence ------------------------------------------------------------
     #

@@ -52,6 +52,28 @@ from repro.workflow.spec import WorkflowSpec
 __all__ = ["SubZero"]
 
 
+class _InflightGauge:
+    """Counts queries executing through :meth:`SubZero.serve` — the
+    foreground-pressure signal the background-maintenance worker polls
+    (idle == zero in flight)."""
+
+    def __init__(self):
+        self._lock = lockcheck.make_lock("subzero.serving.inflight")
+        self._count = 0
+
+    def enter(self) -> None:
+        with self._lock:
+            self._count += 1
+
+    def exit(self) -> None:
+        with self._lock:
+            self._count -= 1
+
+    def idle(self) -> bool:
+        with self._lock:
+            return self._count == 0
+
+
 class SubZero:
     """Lineage-tracking workflow engine (the system of the paper)."""
 
@@ -88,6 +110,12 @@ class SubZero:
         #: (runtime, future) of flush_lineage(wait=False) calls still in
         #: flight — joined (and their runtimes closed) by :meth:`close`
         self._background: list = []
+        #: the background budgeted-compaction worker (started lazily by
+        #: :meth:`serve` / :meth:`start_maintenance`, joined by :meth:`close`)
+        self._maintenance = None
+        #: foreground pressure signal for the maintenance worker: queries
+        #: currently executing through :meth:`serve`
+        self._serving = _InflightGauge()
 
     # -- strategy management ---------------------------------------------------
 
@@ -246,6 +274,43 @@ class SubZero:
         advice.sort(key=lambda item: -item[3])
         return advice
 
+    # -- background maintenance ----------------------------------------------------------
+
+    def start_maintenance(
+        self,
+        budget_bytes: int | None = None,
+        interval_s: float = 0.05,
+    ):
+        """Start (or return) the background budgeted-compaction worker.
+
+        :meth:`serve` calls this automatically when a catalog is attached,
+        so steady-state serving needs zero manual :meth:`compact_lineage`
+        calls; call it directly to run maintenance under an embedded query
+        loop.  The worker consumes :meth:`compaction_advice` one budgeted
+        slice at a time, only while no :meth:`serve` query is in flight,
+        and is joined by :meth:`close` (or :meth:`stop_maintenance`)."""
+        from repro.serving.maintenance import DEFAULT_BUDGET_BYTES, MaintenanceWorker
+
+        if self._maintenance is not None and self._maintenance.running:
+            return self._maintenance
+        self._maintenance = MaintenanceWorker(
+            self,
+            is_idle=self._serving.idle,
+            stats=self.stats,
+            budget_bytes=(
+                budget_bytes if budget_bytes is not None else DEFAULT_BUDGET_BYTES
+            ),
+            interval_s=interval_s,
+        )
+        return self._maintenance.start()
+
+    def stop_maintenance(self, timeout: float | None = 30.0) -> None:
+        """Stop and join the maintenance worker (no-op when none is
+        running); re-raises the first failure it captured, once."""
+        worker, self._maintenance = self._maintenance, None
+        if worker is not None:
+            worker.stop(timeout)
+
     def load_lineage(
         self, directory: str, memory_budget_bytes: int | None = None
     ) -> int:
@@ -344,11 +409,25 @@ class SubZero:
         executor = self._require_executor()
         if not queries:
             return []
+        if (
+            self.runtime is not None
+            and self.runtime.catalog is not None
+            and (self._maintenance is None or not self._maintenance.running)
+        ):
+            # autonomous maintenance rides the serve loop: compaction
+            # slices run only between queries (the in-flight counter is
+            # the idle signal) and keep running between serve() batches
+            # until close()
+            self.start_maintenance()
 
         def run_one(query, session: QuerySession) -> QueryResult:
-            if isinstance(query, QueryRequest):
-                return executor.execute_request(query, session=session)
-            return executor.execute(query, session=session)
+            self._serving.enter()
+            try:
+                if isinstance(query, QueryRequest):
+                    return executor.execute_request(query, session=session)
+                return executor.execute(query, session=session)
+            finally:
+                self._serving.exit()
 
         if max_workers <= 1:
             with QuerySession(self.runtime) as session:
@@ -517,9 +596,18 @@ class SubZero:
         closing only drops what is currently mapped.  The first exception a
         background flush or encode raised (typically a
         :class:`~repro.errors.StorageError`) re-raises here, after every
-        runtime has released its mappings."""
+        runtime has released its mappings.  The background-maintenance
+        worker is joined first — an active budgeted compaction slice runs
+        to completion — and a failure it captured re-raises here exactly
+        once, alongside the flush errors (first failure wins)."""
         background, self._background = self._background, []
         first: BaseException | None = None
+        worker, self._maintenance = self._maintenance, None
+        if worker is not None:
+            try:
+                worker.stop()
+            except BaseException as exc:
+                first = exc
         for runtime, future in background:
             try:
                 future.result()

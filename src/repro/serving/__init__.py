@@ -20,6 +20,9 @@ Pieces:
   (queue + per-client caps) and explicit 429 backpressure.
 * :mod:`repro.serving.client` — :class:`DaemonClient`, a stdlib
   ``http.client`` wrapper with retry-on-connect and typed error mapping.
+* :mod:`repro.serving.maintenance` — :class:`MaintenanceWorker`, the
+  background budgeted-compaction thread the daemon (and
+  ``SubZero.serve``) runs whenever the admission gate is idle.
 * :mod:`repro.serving.workers` — :class:`WorkerPool`, a multi-process
   pool for CPU-bound lowering: fork/spawn workers open the same
   read-only mmap segments, sharing the OS page cache while escaping
@@ -37,6 +40,7 @@ from repro.core.query import (
 )
 from repro.serving.client import DaemonClient
 from repro.serving.daemon import AdmissionGate, QueryDaemon, ServingLimits
+from repro.serving.maintenance import MaintenanceWorker
 from repro.serving.protocol import (
     PROTOCOL_VERSION,
     canonical_result,
@@ -49,6 +53,7 @@ from repro.serving.workers import WorkerPool
 __all__ = [
     "AdmissionGate",
     "DaemonClient",
+    "MaintenanceWorker",
     "PROTOCOL_VERSION",
     "QueryDaemon",
     "QueryRequest",

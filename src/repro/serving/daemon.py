@@ -144,6 +144,11 @@ class AdmissionGate:
         """Block until nothing is waiting or executing; True when drained."""
         return self._idle.wait(timeout)
 
+    def is_idle(self) -> bool:
+        """Non-blocking idleness probe — the background-maintenance worker
+        only starts a compaction slice while this is True."""
+        return self._idle.is_set()
+
     def stats(self) -> dict:
         with self._lock:
             return {
@@ -295,6 +300,8 @@ class QueryDaemon:
         port: int = 0,
         limits: ServingLimits | None = None,
         workers=None,
+        maintenance: bool = True,
+        maintenance_budget_bytes: int | None = None,
     ):
         self.engine = engine
         self.limits = limits or ServingLimits()
@@ -305,6 +312,27 @@ class QueryDaemon:
         self._state_lock = lockcheck.make_lock("serving.daemon.state")
         self._stopping = False
         self._stopped = False
+        # autonomous LSM maintenance: a single background worker that
+        # consumes the engine's compaction_advice() whenever the admission
+        # gate is idle, in budgeted slices — zero manual compact() calls
+        # in steady state.  Off when the engine has no compaction surface.
+        self._maintenance = None
+        if maintenance and hasattr(engine, "compaction_advice"):
+            from repro.serving.maintenance import (
+                DEFAULT_BUDGET_BYTES,
+                MaintenanceWorker,
+            )
+
+            self._maintenance = MaintenanceWorker(
+                engine,
+                is_idle=self.gate.is_idle,
+                stats=getattr(engine, "stats", None),
+                budget_bytes=(
+                    maintenance_budget_bytes
+                    if maintenance_budget_bytes is not None
+                    else DEFAULT_BUDGET_BYTES
+                ),
+            )
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -327,6 +355,8 @@ class QueryDaemon:
         )
         self._thread = thread
         thread.start()
+        if self._maintenance is not None:
+            self._maintenance.start()
         return self
 
     def request_shutdown(self) -> None:
@@ -336,11 +366,16 @@ class QueryDaemon:
         ).start()
 
     def stop(self, drain_timeout: float | None = 30.0) -> None:
-        """Stop serving: refuse new queries, drain in-flight ones, close.
+        """Stop serving: refuse new queries, drain in-flight ones, stop
+        maintenance, close.
 
         Idempotent.  Requests already admitted when the stop begins run to
         completion (bounded by ``drain_timeout``); requests arriving after
-        it get 503.
+        it get 503.  The maintenance worker is joined *after* the drain —
+        an active budgeted compaction slice finishes (per-key compaction
+        has no safe midpoint) — and *before* the sockets close; a failure
+        it captured is re-raised exactly once, after the server is down,
+        so shutdown always completes.
         """
         with self._state_lock:
             if self._stopped:
@@ -348,10 +383,18 @@ class QueryDaemon:
             self._stopping = True
             self._stopped = True
         self.gate.drain(drain_timeout)
+        maintenance_error: BaseException | None = None
+        if self._maintenance is not None:
+            try:
+                self._maintenance.stop()
+            except BaseException as exc:  # noqa: BLE001 -- re-raised below, once
+                maintenance_error = exc
         self._server.shutdown()
         self._server.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
+        if maintenance_error is not None:
+            raise maintenance_error
 
     def __enter__(self) -> "QueryDaemon":
         return self.start()

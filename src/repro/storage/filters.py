@@ -1,0 +1,209 @@
+"""Per-generation key filters: bloom + coordinate zone maps.
+
+A generational catalog (``docs/storage_format.md``, *Generations*) serves a
+multi-generation store as an overlay — every matched probe repeats once per
+live generation, the O(generations) read amplification the cost model
+prices as ``overlay_penalty_seconds``.  The in-situ lineage line of work
+wins by *skipping* decode work, so each flushed generation now persists a
+:class:`GenerationFilter` per key surface: a decode-free, mmap-backed
+summary the overlay consults *before* touching the generation at all.
+
+Two layers, both exact-negative (a ``False`` is a proof of absence; only
+``True`` can be wrong):
+
+* **Zone map** — the packed-key min/max plus a per-dimension coordinate
+  bounding box over every key the generation stores.  One vectorised
+  range check rejects whole query batches that fall outside the
+  generation's key region — the classic sorted-run zone map, adapted to
+  packed array coordinates.
+* **Bloom filter** — a standard double-hashed bloom over the packed keys
+  (splitmix64 mixing, ``k`` derived from the bits-per-key budget), for
+  queries that land inside the bounding box but miss the actual key set.
+
+Filters are ordinary optional segment sections (``filters.meta`` JSON plus
+one ``filters.<tag>.bits`` array per key surface), so per the format's
+versioning policy they ship without a version bump: old readers ignore
+them, old segments simply have none (the overlay then reads the
+generation unconditionally — conservative, never wrong).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import StorageError
+
+__all__ = ["GenerationFilter", "dump_filters", "load_filters"]
+
+#: section name of the JSON describing every filter in a segment
+META_SECTION = "filters.meta"
+#: format version of the filter sections themselves (independent of the
+#: segment version — bumping this only invalidates filters, never data)
+FILTER_VERSION = 1
+#: bloom sizing: bits per stored key (~1% false positives at k=7)
+BITS_PER_KEY = 10
+#: hash count bounds (k = m/n * ln 2, clamped)
+MAX_HASHES = 8
+
+_SPLIT_C1 = np.uint64(0x9E3779B97F4A7C15)
+_SPLIT_C2 = np.uint64(0xBF58476D1CE4E5B9)
+_SPLIT_C3 = np.uint64(0x94D049BB133111EB)
+
+
+def _mix(keys: np.ndarray, seed: int) -> np.ndarray:
+    """splitmix64 finalizer over int64 packed keys (uint64 wraparound)."""
+    with np.errstate(over="ignore"):
+        z = keys.astype(np.uint64) + _SPLIT_C1 * np.uint64(seed + 1)
+        z = (z ^ (z >> np.uint64(30))) * _SPLIT_C2
+        z = (z ^ (z >> np.uint64(27))) * _SPLIT_C3
+        return z ^ (z >> np.uint64(31))
+
+
+class GenerationFilter:
+    """Bloom + zone-map summary of one key surface of one generation.
+
+    ``may_contain(qpacked)`` answers "could any of these packed keys be
+    stored here?" without touching the generation's data sections.  An
+    empty key set yields an always-``False`` filter (still exact: the
+    generation provably stores nothing on this surface).
+    """
+
+    __slots__ = ("n", "m_bits", "k", "kmin", "kmax", "lo", "hi", "bits", "shape")
+
+    def __init__(self, n, m_bits, k, kmin, kmax, lo, hi, bits, shape):
+        self.n = int(n)
+        self.m_bits = int(m_bits)
+        self.k = int(k)
+        self.kmin = int(kmin)
+        self.kmax = int(kmax)
+        self.lo = np.asarray(lo, dtype=np.int64)
+        self.hi = np.asarray(hi, dtype=np.int64)
+        self.bits = bits  # uint64 words, possibly an mmap-backed view
+        self.shape = tuple(int(s) for s in shape)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(cls, keys: np.ndarray, shape: tuple[int, ...]) -> "GenerationFilter":
+        """Summarise ``keys`` (packed int64 coordinates of ``shape``)."""
+        keys = np.asarray(keys, dtype=np.int64).ravel()
+        ndim = len(shape)
+        if keys.size == 0:
+            return cls(
+                0, 0, 1, 0, -1,
+                np.zeros(ndim, np.int64), np.full(ndim, -1, np.int64),
+                np.zeros(0, np.uint64), shape,
+            )
+        keys = np.unique(keys)
+        n = keys.size
+        m_bits = 64 * ((BITS_PER_KEY * n + 63) // 64)
+        k = min(MAX_HASHES, max(1, int(round(m_bits / n * 0.6931))))
+        h1 = _mix(keys, 0)
+        h2 = _mix(keys, 1) | np.uint64(1)  # odd stride covers every slot
+        bits = np.zeros(m_bits // 64, dtype=np.uint64)
+        m = np.uint64(m_bits)
+        with np.errstate(over="ignore"):
+            for i in range(k):
+                idx = (h1 + np.uint64(i) * h2) % m
+                np.bitwise_or.at(
+                    bits, idx >> np.uint64(6),
+                    np.uint64(1) << (idx & np.uint64(63)),
+                )
+        coords = np.unravel_index(keys, shape)
+        lo = np.asarray([int(c.min()) for c in coords], dtype=np.int64)
+        hi = np.asarray([int(c.max()) for c in coords], dtype=np.int64)
+        return cls(n, m_bits, k, int(keys[0]), int(keys[-1]), lo, hi, bits, shape)
+
+    # -- probing -------------------------------------------------------------
+
+    def may_contain(self, qpacked: np.ndarray) -> bool:
+        """False only when provably *no* query key is stored here."""
+        q = np.asarray(qpacked, dtype=np.int64).ravel()
+        if self.n == 0 or q.size == 0:
+            return False
+        # zone maps first: packed range, then the coordinate bounding box
+        q = q[(q >= self.kmin) & (q <= self.kmax)]
+        if q.size == 0:
+            return False
+        coords = np.unravel_index(q, self.shape)
+        inside = np.ones(q.size, dtype=bool)
+        for d, c in enumerate(coords):
+            inside &= (c >= self.lo[d]) & (c <= self.hi[d])
+        q = q[inside]
+        if q.size == 0:
+            return False
+        # bloom over the survivors: a key may be present only if all k
+        # probed bits are set
+        h1 = _mix(q, 0)
+        h2 = _mix(q, 1) | np.uint64(1)
+        alive = np.ones(q.size, dtype=bool)
+        bits = np.asarray(self.bits)
+        m = np.uint64(self.m_bits)
+        with np.errstate(over="ignore"):
+            for i in range(self.k):
+                idx = (h1 + np.uint64(i) * h2) % m
+                word = bits[idx >> np.uint64(6)]
+                alive &= (word >> (idx & np.uint64(63))) & np.uint64(1) != 0
+                if not alive.any():
+                    return False
+                keep = alive
+                h1, h2, alive = h1[keep], h2[keep], alive[keep]
+        return True
+
+    # -- persistence ---------------------------------------------------------
+
+    def meta(self) -> dict:
+        return {
+            "n": self.n,
+            "m_bits": self.m_bits,
+            "k": self.k,
+            "kmin": self.kmin,
+            "kmax": self.kmax,
+            "lo": self.lo.tolist(),
+            "hi": self.hi.tolist(),
+            "shape": list(self.shape),
+        }
+
+    @classmethod
+    def from_meta(cls, meta: dict, bits: np.ndarray) -> "GenerationFilter":
+        return cls(
+            meta["n"], meta["m_bits"], meta["k"], meta["kmin"], meta["kmax"],
+            meta["lo"], meta["hi"], bits, meta["shape"],
+        )
+
+
+def dump_filters(writer, filters: dict[str, GenerationFilter]) -> None:
+    """Add the filter sections for one store to a segment writer:
+    ``filters.meta`` plus one bit-array section per tag."""
+    writer.add_json(
+        META_SECTION,
+        {
+            "version": FILTER_VERSION,
+            "tags": {tag: f.meta() for tag, f in filters.items()},
+        },
+    )
+    for tag, f in filters.items():
+        writer.add_array(f"filters.{tag}.bits", f.bits)
+
+
+def load_filters(seg) -> dict[str, GenerationFilter] | None:
+    """Reconstruct a segment's filters (bit arrays stay mmap-backed, zero
+    copy).  None when the segment predates filters — callers must then
+    treat every probe as "may contain"."""
+    if not seg.has(META_SECTION):
+        return None
+    meta = seg.json(META_SECTION)
+    if meta.get("version", 0) > FILTER_VERSION:
+        # newer filters we cannot interpret: serve without them rather
+        # than refuse the (perfectly readable) data sections
+        return None
+    filters: dict[str, GenerationFilter] = {}
+    for tag, m in meta.get("tags", {}).items():
+        name = f"filters.{tag}.bits"
+        if not seg.has(name):
+            raise StorageError(
+                f"segment {seg.path!r} lists filter {tag!r} but has no "
+                f"section {name!r}"
+            )
+        filters[tag] = GenerationFilter.from_meta(m, seg.array(name))
+    return filters

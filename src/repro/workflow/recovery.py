@@ -172,9 +172,19 @@ def recover_instance(
     the store does not hold, or covers only part of the workflow.
     """
     spec.validate()
+    # Delta-aware replay: the WAL is append-only and only the newest record
+    # per node matters, so scan backwards and stop at the first moment every
+    # spec node has been seen.  A long-lived log — many incremental runs,
+    # each committing one delta generation — replays O(nodes) records
+    # instead of O(history): everything older than the last committed
+    # generation of each node is never touched.
     latest = {}
-    for record in wal:
-        latest[record.node] = record
+    want = len(spec.nodes)
+    for record in reversed(wal.records()):
+        if record.node not in latest and record.node in spec.nodes:
+            latest[record.node] = record
+            if len(latest) == want:
+                break
 
     missing = [name for name in spec.nodes if name not in latest]
     if missing:

@@ -32,6 +32,7 @@ Five layers under test:
 import json
 import os
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -51,6 +52,7 @@ from repro.core.lineage_store import make_store
 from repro.core.model import BufferSink, ElementwiseBatch, RegionPair
 from repro.core.modes import BLACKBOX, MAP
 from repro.core.overlay import OverlayStore
+from repro.core.query import QueryRequest
 from repro.core.runtime import LineageRuntime
 from repro.core.stats import StatsCollector
 from repro.errors import StorageError
@@ -810,3 +812,221 @@ class TestFacadeAndCostModel:
         assert model.overlay_penalty_seconds("n", BLACKBOX, True, 64, 3) == 0.0
         assert model.overlay_penalty_seconds("n", MAP, True, 64, 3) == 0.0
         assert model.overlay_penalty_seconds("n", FULL_ONE_B, True, 64, 1) == 0.0
+
+
+# -- generation filters --------------------------------------------------------
+
+
+def _strip_filters(store):
+    """Disable the loaded filters of a store / every overlay generation, so
+    the same mapped data answers with the pre-filter read-everything path."""
+    gens = store._gens if isinstance(store, OverlayStore) else [store]
+    for gen in gens:
+        gen._filters = None
+
+
+class TestGenerationFilters:
+    @pytest.mark.parametrize("strategy", ALL_FULL, ids=lambda s: s.label)
+    @given(case_a=sinks(), case_b=sinks(), case_c=sinks())
+    @settings(max_examples=8, deadline=None)
+    def test_filters_are_exact_negative(
+        self, strategy, case_a, case_b, case_c, tmp_path_factory
+    ):
+        """A filter ``False`` is a proof of absence, never a lost answer:
+        every query through a filtered multi-generation overlay equals the
+        same overlay with its filters stripped."""
+        sink_a, q_a = case_a
+        query = np.unique(np.concatenate([q_a, case_b[1], case_c[1]]))
+        directory = str(tmp_path_factory.mktemp("filters"))
+        key = ("n", strategy)
+        catalog, _ = StoreCatalog.write(directory, {key: _store_from(sink_a, strategy)})
+        catalog.close()
+        for case in (case_b, case_c):
+            catalog, _ = StoreCatalog.append(
+                directory, {key: _store_from(case[0], strategy)}
+            )
+            catalog.close()
+
+        catalog = StoreCatalog.open(directory)
+        store = catalog.open_store("n", strategy)
+        with_filters = _answers(store, strategy, query)
+        _strip_filters(store)
+        without_filters = _answers(store, strategy, query)
+        assert with_filters == without_filters
+        catalog.close()
+
+    def test_twenty_generation_matched_query_probes_two(self, tmp_path):
+        """The tentpole number: a matched backward query on a 20-generation
+        store touches only the generations that can contain the key — the
+        other 19 are rejected by their zone/bloom filters without a read."""
+        shape = (16, 16)
+        key = ("n", FULL_ONE_B)
+
+        def owner(lo, hi):
+            # one generation owning exactly the packed keys [lo, hi)
+            packed = np.arange(lo, hi, dtype=np.int64)
+            outs = np.stack(np.unravel_index(packed, shape), axis=1)
+            sink = BufferSink()
+            sink.add_elementwise(
+                ElementwiseBatch(outcells=outs, incells=(outs.copy(),))
+            )
+            store = make_store("n", FULL_ONE_B, shape, (shape,))
+            store.ingest(sink)
+            return store
+
+        catalog, _ = StoreCatalog.write(str(tmp_path), {key: owner(0, 8)})
+        catalog.close()
+        for g in range(1, 20):
+            catalog, _ = StoreCatalog.append(
+                str(tmp_path), {key: owner(8 * g, 8 * g + 8)}
+            )
+            catalog.close()
+
+        catalog = StoreCatalog.open(str(tmp_path))
+        assert catalog.generation_count("n", FULL_ONE_B) == 20
+        assert catalog.filters_ready("n", FULL_ONE_B)
+        store = catalog.open_store("n", FULL_ONE_B)
+        q = np.arange(8 * 19, 8 * 19 + 8, dtype=np.int64)  # newest gen's keys
+        matched, _per = store.backward_full(q)
+        assert matched.all()
+        stats = catalog.stats()
+        assert stats["filter_probes"] == 20
+        assert stats["filter_probes"] - stats["generations_skipped"] <= 2
+        catalog.close()
+
+    def test_segments_without_filters_serve_unconditionally(
+        self, tmp_path, monkeypatch
+    ):
+        """Filters are optional sections: a segment without them (older
+        writer) reports no decision and the overlay reads the generation —
+        conservative, never wrong, zero probe counters."""
+        baseline = TestCompaction()._three_generation_dir(tmp_path)
+        monkeypatch.setattr(
+            "repro.core.lineage_store.filterlib.load_filters", lambda seg: None
+        )
+        catalog = StoreCatalog.open(str(tmp_path))
+        store = catalog.open_store("n", FULL_MANY_B)
+        assert _answers(store, FULL_MANY_B, QUERY) == baseline
+        stats = catalog.stats()
+        assert stats["filter_probes"] == 0
+        assert stats["generations_skipped"] == 0
+        catalog.close()
+
+    def test_costmodel_discounts_filtered_overlays(self):
+        stats = StatsCollector()
+        model = CostModel(stats)
+        plain = model.overlay_penalty_seconds("n", FULL_ONE_B, True, 64, 8)
+        filtered = model.overlay_penalty_seconds(
+            "n", FULL_ONE_B, True, 64, 8, filtered=True
+        )
+        # filters shrink the matched repeat but never erase the penalty:
+        # compaction advice keeps firing on filtered overlays too
+        assert 0 < filtered < plain
+        # the mismatched (scan) direction gains nothing from key filters
+        scan = model.overlay_penalty_seconds("n", FULL_ONE_B, False, 64, 8)
+        scan_f = model.overlay_penalty_seconds(
+            "n", FULL_ONE_B, False, 64, 8, filtered=True
+        )
+        assert scan == scan_f
+
+
+# -- autonomous background maintenance -----------------------------------------
+
+
+class TestAutonomousMaintenance:
+    def _resumed(self, tmp_path, rng, n_appends=3):
+        """A SubZero resumed over a (1 + n_appends)-generation catalog."""
+        image = SciArray.from_numpy(rng.random((20, 24)))
+        versions = VersionStore()
+        sz = SubZero(build_spot_spec(), enable_query_opt=False)
+        sz.set_strategy("spot", FULL_ONE_B, FULL_MANY_B)
+        sz.run({"img": image}, version_store=versions)
+        directory = str(tmp_path / "lineage")
+        sz.flush_lineage(directory)
+        wal = sz.wal
+        for _ in range(n_appends):
+            again = SubZero(build_spot_spec(), enable_query_opt=False)
+            again.set_strategy("spot", FULL_ONE_B, FULL_MANY_B)
+            again.run({"img": image})
+            again.flush_lineage(directory, append=True)
+        resumed = SubZero(build_spot_spec(), enable_query_opt=False)
+        resumed.resume(versions, wal=wal, lineage_dir=directory)
+        return resumed
+
+    def test_serve_compacts_in_background_without_manual_compact(
+        self, tmp_path, rng
+    ):
+        sz = self._resumed(tmp_path, rng)
+        assert sz.runtime.generation_count("spot", FULL_ONE_B) == 4
+        reqs = [QueryRequest.backward([(3, 3), (8, 9)], ["spot"])]
+        baseline = sorted(map(tuple, sz.serve(reqs)[0].coords.tolist()))
+
+        # serve() started the maintenance worker; it must drain the advice
+        # to empty on its own — zero manual compact_lineage() calls
+        deadline = time.monotonic() + JOIN_TIMEOUT
+        while sz.compaction_advice() and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert sz.compaction_advice() == []
+        assert sz.runtime.generation_count("spot", FULL_ONE_B) == 1
+        assert sz.stats.maintenance["compactions_run"] >= 1
+        assert sz.stats.maintenance["bytes_merged"] > 0
+        assert sz.stats.maintenance["maintenance_seconds"] > 0
+        assert sz.runtime.serving_stats()["compactions_run"] >= 1
+
+        # answers through the compacted store stay the pre-compaction union
+        assert sorted(map(tuple, sz.serve(reqs)[0].coords.tolist())) == baseline
+        sz.close()
+
+    def test_close_joins_active_budgeted_compact(self, tmp_path, rng, monkeypatch):
+        """The shutdown race: close() arriving while a budgeted compaction
+        slice is mid-write must wait for the slice (atomic per key, no safe
+        midpoint), then shut down cleanly."""
+        sz = self._resumed(tmp_path, rng)
+        started = threading.Event()
+        real_compact = StoreCatalog.compact
+
+        def slow(self, *args, **kwargs):
+            started.set()
+            time.sleep(0.3)
+            return real_compact(self, *args, **kwargs)
+
+        monkeypatch.setattr(StoreCatalog, "compact", slow)
+        sz.start_maintenance(interval_s=0.01)
+        assert started.wait(JOIN_TIMEOUT)
+        sz.close()  # races the sleeping slice; must join without raising
+        assert sz.stats.maintenance["compactions_run"] >= 1
+        sz.close()  # idempotent
+
+    def test_maintenance_failure_parks_and_reraises_once(
+        self, tmp_path, rng, monkeypatch
+    ):
+        """A compaction crash mid-maintenance leaves the generation set
+        untouched (filters from the old generations keep serving) and the
+        failure surfaces exactly once, at close()."""
+        sz = self._resumed(tmp_path, rng)
+        baseline = sorted(
+            map(tuple, sz.backward_query([(3, 3), (8, 9)], ["spot"]).coords.tolist())
+        )
+
+        def boom(self, *args, **kwargs):
+            raise StorageError("simulated crash mid-maintenance")
+
+        monkeypatch.setattr(StoreCatalog, "compact", boom)
+        worker = sz.start_maintenance(interval_s=0.01)
+        deadline = time.monotonic() + JOIN_TIMEOUT
+        while worker.running and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert not worker.running  # parked after the failure, not retrying
+
+        # nothing was compacted or torn: every generation keeps serving,
+        # filters intact
+        assert sz.runtime.generation_count("spot", FULL_ONE_B) == 4
+        assert sz.runtime.filters_ready("spot", FULL_ONE_B)
+        got = sorted(
+            map(tuple, sz.backward_query([(3, 3), (8, 9)], ["spot"]).coords.tolist())
+        )
+        assert got == baseline
+
+        with pytest.raises(StorageError, match="simulated crash"):
+            sz.close()
+        sz.close()  # the captured failure re-raises exactly once
