@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Dead-link gate for the documentation layer (stdlib only).
+
+Scans ``README.md`` and every ``*.md`` under ``docs/`` for relative
+markdown links and fails (exit 1) when a target does not resolve:
+
+* ``[text](path/to/file.md)`` — the file must exist relative to the
+  document that links it (or repo-root-relative with a leading ``/``);
+* ``[text](file.md#anchor)`` / ``[text](#anchor)`` — the anchor must
+  match a heading in the target document, slugified the way GitHub
+  renders it (lowercase, spaces to dashes, punctuation dropped);
+* bare directory links (``docs/``) must name an existing directory.
+
+External links (``http(s)://``, ``mailto:``) are skipped on purpose:
+this gate is about keeping the *internal* doc graph sound — CI must not
+flake on somebody else's server.
+
+Run from the repo root (CI does)::
+
+    python scripts/check_doc_links.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# inline links: [text](target).  The target group stops at the first
+# unescaped close-paren; markdown image links (![alt](src)) match too,
+# which is what we want — a broken diagram link is still a broken link.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _slugify(heading: str) -> str:
+    """GitHub's heading → anchor rule: strip markup, lowercase, drop
+    punctuation, spaces become dashes."""
+    text = re.sub(r"[*_`]|\[([^\]]*)\]\([^)]*\)", r"\1", heading).strip()
+    text = re.sub(r"[^\w\- ]", "", text.lower())
+    return re.sub(r" ", "-", text)
+
+
+def _anchors(path: pathlib.Path) -> set[str]:
+    body = _CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    slugs: dict[str, int] = {}
+    out = set()
+    for match in _HEADING.finditer(body):
+        slug = _slugify(match.group(1))
+        n = slugs.get(slug, 0)
+        slugs[slug] = n + 1
+        out.add(slug if n == 0 else f"{slug}-{n}")  # duplicate headings
+    return out
+
+
+def _check_file(doc: pathlib.Path) -> list[str]:
+    errors = []
+    body = _CODE_FENCE.sub("", doc.read_text(encoding="utf-8"))
+    rel = doc.relative_to(ROOT)
+    for match in _LINK.finditer(body):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL):
+            continue
+        path_part, _, anchor = target.partition("#")
+        if path_part:
+            if path_part.startswith("/"):
+                resolved = ROOT / path_part.lstrip("/")
+            else:
+                resolved = (doc.parent / path_part).resolve()
+            if not resolved.exists():
+                errors.append(f"{rel}: dead link -> {target}")
+                continue
+        else:
+            resolved = doc  # pure in-page anchor: #section
+        if anchor and resolved.suffix == ".md" and resolved.is_file():
+            if anchor.lower() not in _anchors(resolved):
+                errors.append(f"{rel}: missing anchor -> {target}")
+    return errors
+
+
+def main() -> int:
+    docs = [ROOT / "README.md"] + sorted((ROOT / "docs").rglob("*.md"))
+    missing = [d for d in docs if not d.is_file()]
+    errors = [f"required document missing: {d.relative_to(ROOT)}" for d in missing]
+    checked = 0
+    for doc in docs:
+        if doc.is_file():
+            errors.extend(_check_file(doc))
+            checked += 1
+    for line in errors:
+        print(f"FAIL {line}", file=sys.stderr)
+    verdict = "FAIL" if errors else "OK"
+    print(f"{verdict}: {len(errors)} dead link(s), {checked} document(s) checked")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,8 +30,8 @@ class SZ001(Rule):
     rationale = (
         "Segments are refcounted (`acquire`/`close`) and catalog records "
         "are pinned (`borrow`/`release`); a leaked ref pins an mmap and a "
-        "file descriptor for the life of the process, defeating LRU "
-        "eviction.  A call whose result neither escapes nor reaches a "
+        "file descriptor for the life of the process, defeating the "
+        "cache's eviction budget.  A call whose result neither escapes nor reaches a "
         "release on the failure path is a leak."
     )
     scope = ()

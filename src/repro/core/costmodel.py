@@ -51,7 +51,7 @@ class CostConstants:
     entry_overhead_bytes: int = 14
     rtree_entry_bytes: int = 40
     default_reexec_s: float = 0.05  # before any measurement exists
-    # reopen-after-evict pricing: opening a store that the LRU cache evicted
+    # reopen-after-evict pricing: opening a store that the 2Q cache evicted
     # (or never opened) pays one segment open — mmap + manifest parse — plus
     # a page-in term proportional to the bytes the first probes touch.  This
     # is what makes the query-time optimizer memory-budget-aware: a strategy
@@ -69,6 +69,11 @@ class CostConstants:
     # so filtered overlays pay this per cell per extra generation instead
     # of the full index-probe rate above.
     filter_probe_s: float = 2.0e-7  # per query cell, bloom + zone-map check
+    # scatter fan-out: a partitioned catalog routes a mapped node's read to
+    # one partition (no surcharge), but an unmapped node or broadcast plan
+    # probes every partition's manifest/cache once — one extra partition
+    # consulted costs one more child-catalog lookup.
+    partition_probe_s: float = 5.0e-5  # per extra partition consulted
 
     @classmethod
     def calibrate(cls, n: int = 50_000, seed: int = 0) -> "CostConstants":
@@ -251,6 +256,7 @@ class CostModel:
         reopen_bytes: int = 0,
         generations: int = 1,
         filtered: bool = False,
+        fanout: int = 1,
     ) -> float:
         """Estimated cost of one query step over ``n_query_cells``.
 
@@ -276,6 +282,13 @@ class CostModel:
         bloom/zone key filters (``catalog.filters_ready``): matched reads
         then skip non-owning generations after a cheap membership check,
         so the per-generation repeat is priced at the filter-probe rate.
+
+        ``fanout`` is how many catalog partitions the access must scatter
+        across (``runtime.partition_fanout``) — 1 for a monolithic catalog
+        or a node the partition map covers; each extra partition adds one
+        child-catalog probe, so the optimizer sees broadcast reads as
+        honestly more expensive than targeted ones (and than mapping
+        functions or re-execution, which never touch the catalog).
         """
         s = self.stats.get(node)
         k = self.k
@@ -288,6 +301,7 @@ class CostModel:
         reopen = (
             k.segment_open_s + reopen_bytes * k.reopen_byte_s if reopen_bytes else 0.0
         )
+        reopen += max(0, fanout - 1) * k.partition_probe_s
         measured = s.observed_query_seconds.get(
             self._observation_key(strategy, direction_backward)
         )

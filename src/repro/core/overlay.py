@@ -1,29 +1,43 @@
-"""Read overlay over the live generations of one lineage store.
+"""Source-agnostic read union over the live pieces of one lineage store.
 
-An incremental flush (``flush_lineage(append=True)``) leaves a store split
-across *generations*: the base segment plus one delta segment per appended
-run (``<name>.gen.<g>.seg``, see :mod:`repro.storage.segment`).  Until a
-compaction merges them, queries must see the union — lineage accumulates,
-it is never overwritten — and :class:`OverlayStore` is that union view:
-it holds every generation's :class:`~repro.core.lineage_store.OpLineageStore`
-(oldest first) and answers the whole read API by consulting all of them,
-newest first, merging per-cell verdicts with OR and cell sets by
-concatenation.
+A ``(node, strategy)`` key can be served by more than one physical store
+at once, for two independent reasons:
+
+* **Generations.**  An incremental flush (``flush_lineage(append=True)``)
+  leaves the key split across the base segment plus one delta segment per
+  appended run (``<name>.gen.<g>.seg``, see :mod:`repro.storage.segment`)
+  until a compaction merges them.
+* **Partitions.**  A partitioned catalog
+  (:class:`~repro.storage.partition.PartitionedCatalog`) splits a
+  workflow's lineage by node subset; a key that lands in several
+  partitions (an explicit multi-assignment, or a re-mapped append) is
+  served by one store per partition.
+
+In both cases queries must see the *union* — lineage accumulates, it is
+never overwritten — and :class:`OverlayStore` is that union view over any
+list of :data:`LineageSource` members (oldest/lowest-precedence first).
+It answers the whole read API by consulting all of them, newest first,
+merging per-cell verdicts with OR and cell sets by concatenation.  The
+merge code is deliberately unaware of *why* the key is split: a
+generation overlay and a partition union run the identical paths (one
+implementation, per the roadmap — not two parallel merge engines), and a
+partition union whose members are themselves generation overlays simply
+nests.
 
 Design points:
 
-* **Each generation keeps its own indexes.**  Matched probes run one hash
-  lookup / R-tree descent per generation; mismatched scans run each
-  generation's vectorised :class:`~repro.storage.codecs.BatchProbe` pass
-  over that generation's (persisted) lowered tables.  Nothing is rebuilt
+* **Each source keeps its own indexes.**  Matched probes run one hash
+  lookup / R-tree descent per source; mismatched scans run each
+  source's vectorised :class:`~repro.storage.codecs.BatchProbe` pass
+  over that source's (persisted) lowered tables.  Nothing is rebuilt
   at open time — that is what makes appends cheap — but every extra
-  generation adds a probe pass, which is the *read amplification* the cost
+  source adds a probe pass, which is the *read amplification* the cost
   model prices (:meth:`~repro.core.costmodel.CostModel.overlay_penalty_seconds`)
   and :meth:`~repro.core.catalog.StoreCatalog.compact` removes.
 * **Payload scans pay the amplification most visibly**: the executor's
   columnar forward scan wants one ``(keys, koff, vbuf, voff)`` surface, so
-  the overlay concatenates the generations' columns on first use (cached —
-  generations are immutable once opened).
+  the overlay concatenates the sources' columns on first use (cached —
+  sources are immutable once opened).
 * The overlay is read-only: ingest/absorb go to the concrete layouts.  A
   full (non-append) re-flush of an overlay collapses it — the segment it
   writes is the compacted merge.
@@ -31,7 +45,7 @@ Design points:
 Query answers over an overlay are *set-identical* to the same lineage in
 one store: every public read returns packed cell sets (or per-cell
 verdicts) that the executor deduplicates, so concatenation across
-generations is exact, even when generations overlap.
+sources is exact, even when sources overlap.
 """
 
 from __future__ import annotations
@@ -41,17 +55,29 @@ import numpy as np
 from repro.analysis import lockcheck
 from repro.core.lineage_store import OpLineageStore, _concat, make_store
 
-__all__ = ["FilterStats", "OverlayStore"]
+__all__ = ["FilterStats", "LineageSource", "OverlayStore"]
+
+#: The union-member contract.  Anything that answers the
+#: :class:`~repro.core.lineage_store.OpLineageStore` read API can be a
+#: member of an :class:`OverlayStore`: a concrete single-segment store
+#: (one generation, or one partition's compacted key), or another overlay
+#: (a partition union over per-partition generation overlays nests).  The
+#: alias exists so call sites can say what they mean — "a list of lineage
+#: sources" — without caring which physical split produced them.
+LineageSource = OpLineageStore
 
 
 class FilterStats:
-    """Shared counters for the overlay's generation-skip filters.
+    """Shared counters for the overlay's source-skip filters.
 
     One instance is owned by the :class:`~repro.core.catalog.StoreCatalog`
-    and injected into every overlay it opens, so the serving stats see the
-    whole process's filter effectiveness; a standalone overlay makes its
-    own.  Counters accumulate once per read call (not per generation) to
-    keep the hot path to a single short lock acquisition.
+    (or the partitioned root) and injected into every overlay it opens, so
+    the serving stats see the whole process's filter effectiveness; a
+    standalone overlay makes its own.  Counter names keep the historical
+    ``generations_*`` spelling — generations are by far the common source
+    kind — but a skipped partition member counts identically.  Counters
+    accumulate once per read call (not per source) to keep the hot path
+    to a single short lock acquisition.
     """
 
     __slots__ = ("_lock", "filter_probes", "generations_skipped", "bloom_fp")
@@ -87,13 +113,14 @@ class _OverlaySegments:
     """Accounting/lifecycle shim standing in for a single segment handle.
 
     The serving cache charges an open store by ``store._segment``'s mapped
-    bytes; an overlay's footprint is the sum of its generations' mappings
-    (each of which may itself be a lazily-mapped sharded segment).
+    bytes; an overlay's footprint is the sum of its sources' mappings
+    (each of which may itself be a lazily-mapped sharded segment, or a
+    nested overlay carrying this same shim).
     """
 
     __slots__ = ("_stores",)
 
-    def __init__(self, stores: list[OpLineageStore]):
+    def __init__(self, stores: list[LineageSource]):
         self._stores = stores
 
     def mapped_bytes(self) -> int:
@@ -108,36 +135,60 @@ class _OverlaySegments:
 
 
 class OverlayStore(OpLineageStore):
-    """Union view over one store's generations (see module docstring)."""
+    """Union view over one key's lineage sources (see module docstring).
+
+    ``kind`` labels what split produced the sources — ``"generation"``
+    (the catalog's delta overlay) or ``"partition"`` (a scatter-gather
+    union over per-partition stores).  It changes nothing about the merge;
+    it exists so diagnostics can say which union they are looking at.
+    """
 
     def __init__(
         self,
-        stores: list[OpLineageStore],
+        stores: list[LineageSource],
         filter_stats: FilterStats | None = None,
+        kind: str = "generation",
     ):
         if not stores:
-            raise ValueError("an overlay needs at least one generation")
+            raise ValueError("an overlay needs at least one source")
         first = stores[0]
         super().__init__(first.node, first.strategy, first.out_shape, first.in_shapes)
         for other in stores[1:]:
             self._check_absorb(other)
-        #: the generations, oldest first (reads iterate newest first)
-        self._gens: list[OpLineageStore] = list(stores)
-        self._segment = _OverlaySegments(self._gens)
-        #: cached concatenation of the generations' payload columns
+        #: the sources, oldest/lowest-precedence first (reads iterate
+        #: newest first)
+        self._sources: list[LineageSource] = list(stores)
+        self.kind = kind
+        self._segment = _OverlaySegments(self._sources)
+        #: cached concatenation of the sources' payload columns
         self._merged_payload: tuple | None = None
         self._plock = lockcheck.make_lock("overlay.payload")
-        #: generation-skip counters (shared with the owning catalog)
+        #: source-skip counters (shared with the owning catalog)
         self._fstats = filter_stats if filter_stats is not None else FilterStats()
 
     # -- introspection -------------------------------------------------------
 
     @property
-    def generations(self) -> int:
-        return len(self._gens)
+    def sources(self) -> int:
+        """How many lineage sources this union consults."""
+        return len(self._sources)
 
-    def generation_stores(self) -> list[OpLineageStore]:
-        return list(self._gens)
+    def source_stores(self) -> list[LineageSource]:
+        return list(self._sources)
+
+    @property
+    def generations(self) -> int:
+        """Source count under its historical name (generation overlays)."""
+        return len(self._sources)
+
+    def generation_stores(self) -> list[LineageSource]:
+        return list(self._sources)
+
+    @property
+    def _gens(self) -> list[LineageSource]:
+        # pre-refactor internal name, kept readable for callers/tests that
+        # still reach for it
+        return self._sources
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -145,24 +196,24 @@ class OverlayStore(OpLineageStore):
         with self._plock:
             self._segment = None
             self._merged_payload = None
-        for store in self._gens:
+        for store in self._sources:
             store.close()
 
     def finalize_if_possible(self) -> None:
-        for store in self._gens:
+        for store in self._sources:
             store.finalize_if_possible()
 
     def warm_lowered_tables(self) -> None:
-        for store in self._gens:
+        for store in self._sources:
             store.warm_lowered_tables()
 
     def lowered_ready(self) -> bool:
-        return all(store.lowered_ready() for store in self._gens)
+        return all(store.lowered_ready() for store in self._sources)
 
     def persists_filters(self) -> bool:
         # a flush of the overlay writes the merged concrete store, whose
         # layout is the generations' layout
-        return self._gens[0].persists_filters()
+        return self._sources[0].persists_filters()
 
     # -- writes are a layout concern ------------------------------------------
 
@@ -176,7 +227,7 @@ class OverlayStore(OpLineageStore):
         product): a fresh layout-store absorbing every generation, oldest
         first, finalized and independent of the generations' mappings."""
         merged = make_store(self.node, self.strategy, self.out_shape, self.in_shapes)
-        for store in self._gens:
+        for store in self._sources:
             merged.absorb(store)
         merged.finalize_if_possible()
         return merged
@@ -208,7 +259,7 @@ class OverlayStore(OpLineageStore):
         matched = np.zeros(qpacked.size, dtype=bool)
         per_input: list[list[np.ndarray]] = [[] for _ in range(self.arity)]
         probes = skipped = fp = 0
-        for store in reversed(self._gens):
+        for store in reversed(self._sources):
             decision = store.filter_decision("b", qpacked)
             if decision is not None:
                 probes += 1
@@ -230,7 +281,7 @@ class OverlayStore(OpLineageStore):
         tag = f"f{input_idx}"
         parts: list[np.ndarray] = []
         probes = skipped = fp = 0
-        for store in reversed(self._gens):
+        for store in reversed(self._sources):
             decision = store.filter_decision(tag, qpacked)
             if decision is not None:
                 probes += 1
@@ -249,7 +300,7 @@ class OverlayStore(OpLineageStore):
         matched = np.zeros(qpacked.size, dtype=bool)
         pairs = []
         probes = skipped = fp = 0
-        for store in reversed(self._gens):
+        for store in reversed(self._sources):
             decision = store.filter_decision("b", qpacked)
             if decision is not None:
                 probes += 1
@@ -271,7 +322,7 @@ class OverlayStore(OpLineageStore):
         payloads: list = []
         probes = skipped = fp = 0
         try:
-            for store in reversed(self._gens):
+            for store in reversed(self._sources):
                 decision = store.filter_decision("b", qpacked)
                 if decision is not None:
                     probes += 1
@@ -301,7 +352,7 @@ class OverlayStore(OpLineageStore):
             _concat(
                 [
                     store.scan_forward_full(qpacked, input_idx, ticker=ticker)
-                    for store in reversed(self._gens)
+                    for store in reversed(self._sources)
                 ]
             )
         )
@@ -309,7 +360,7 @@ class OverlayStore(OpLineageStore):
     def scan_backward_full(self, qpacked, ticker=None):
         matched = np.zeros(np.asarray(qpacked).size, dtype=bool)
         per_input: list[list[np.ndarray]] = [[] for _ in range(self.arity)]
-        for store in reversed(self._gens):
+        for store in reversed(self._sources):
             m, per = store.scan_backward_full(qpacked, ticker=ticker)
             matched |= m
             for i, cells in enumerate(per):
@@ -330,7 +381,7 @@ class OverlayStore(OpLineageStore):
                 klen_parts: list[np.ndarray] = []
                 vbuf_parts: list[bytes] = []
                 vlen_parts: list[np.ndarray] = []
-                for store in self._gens:
+                for store in self._sources:
                     keys, koff, vbuf, voff = store.payload_entries()
                     if koff.size <= 1:
                         continue
@@ -359,14 +410,14 @@ class OverlayStore(OpLineageStore):
 
     def overridden_keys(self) -> np.ndarray:
         return np.unique(
-            _concat([store.overridden_keys() for store in self._gens])
+            _concat([store.overridden_keys() for store in self._sources])
         )
 
     # -- accounting ------------------------------------------------------------
 
     def disk_bytes(self) -> int:
-        return sum(store.disk_bytes() for store in self._gens)
+        return sum(store.disk_bytes() for store in self._sources)
 
     @property
     def n_entries(self) -> int:
-        return sum(store.n_entries for store in self._gens)
+        return sum(store.n_entries for store in self._sources)

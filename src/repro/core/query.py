@@ -17,7 +17,7 @@ meters is dominated by a few NumPy passes.
 
 Concurrency: query execution *borrows* stores through a
 :class:`QuerySession` — catalog-backed stores are pinned on first touch and
-unpinned when the session closes, so the catalog's LRU eviction can never
+unpinned when the session closes, so the catalog's 2Q eviction can never
 close a mapping under a reader, and execution never mutates runtime state.
 ``QueryExecutor.backward`` / ``forward`` are therefore safe to call from
 many threads at once (each call gets its own implicit session unless one is
@@ -256,7 +256,7 @@ class QuerySession:
     Every store a query step touches is obtained through the session:
     resident stores pass straight through; catalog stores are *borrowed*
     (pinned) on first touch and cached for the session's lifetime, then
-    released (unpinned) on :meth:`close`.  Pinning guarantees the LRU
+    released (unpinned) on :meth:`close`.  Pinning guarantees cache
     eviction never closes a mapping this session is reading — eviction of
     a pinned store is deferred until its last pin drops.
 
@@ -460,6 +460,16 @@ class QueryResult:
                     f"  background maintenance: {c.get('compactions_run', 0)} "
                     f"compactions, {c.get('bytes_merged', 0)} bytes merged, "
                     f"{c.get('maintenance_seconds', 0.0) * 1e3:.2f} ms"
+                )
+            if c.get("partitions", 0):
+                lines.append(
+                    f"  partitioned catalog: {c.get('partitions', 0)} partitions "
+                    f"({c.get('partitions_degraded', 0)} degraded), "
+                    f"{c.get('partition_probes', 0)} probes "
+                    f"({c.get('targeted_probes', 0)} targeted / "
+                    f"{c.get('broadcast_probes', 0)} broadcast), "
+                    f"{c.get('scatter_queries', 0)} scatter plans "
+                    f"({c.get('scatter_broadcasts', 0)} broadcast)"
                 )
         return "\n".join(lines)
 
@@ -692,6 +702,9 @@ class QueryExecutor:
                 # filter-probe rate when every generation persisted filters
                 generations=self.runtime.generation_count(node, strategy),
                 filtered=self.runtime.filters_ready(node, strategy),
+                # scatter fan-out: materialised reads on a partitioned
+                # catalog pay one child-catalog probe per extra partition
+                fanout=self.runtime.partition_fanout(node),
             )
             if cost < best_cost:
                 best, best_cost = strategy, cost
@@ -732,7 +745,7 @@ class QueryExecutor:
             coords = C.unpack_coords(qpacked, in_shape)
             return C.pack_coords(op.map_f_many(coords, idx), out_shape)
         # borrow through the session: catalog stores come back pinned, so
-        # the LRU can never close this mapping while the step is reading it
+        # eviction can never close this mapping while the step is reading it
         store = session.store_for(node, strategy)
         if store is None:
             raise QueryError(

@@ -223,8 +223,8 @@ class LineageRuntime:
         """The store serving (node, strategy) — opened lazily from the
         attached catalog on first access when not resident.
 
-        Catalog stores are cached *in the catalog* (subject to its LRU
-        budget), not copied into the runtime, so this method never mutates
+        Catalog stores are cached *in the catalog* (subject to its 2Q
+        eviction budget), not copied into the runtime, so this method never mutates
         runtime state.  Readers that must survive eviction (concurrent
         serving) should borrow through :meth:`session` instead."""
         store = self._stores.get((node, strategy))
@@ -250,9 +250,20 @@ class LineageRuntime:
             return self._catalog.manifest_bytes(node, strategy)
         return 0
 
+    def partition_fanout(self, node: str) -> int:
+        """How many catalog partitions a read on ``node`` must probe — 1
+        for a monolithic (or no) catalog, the owning partition or the
+        broadcast width for a partitioned one.  Feeds the cost model's
+        scatter fan-out pricing."""
+        fanout = getattr(self._catalog, "partition_fanout", None)
+        if fanout is None:
+            return 1
+        return fanout(node)
+
     def serving_stats(self) -> dict[str, int]:
         """The catalog cache's hit/miss/evict/open-mapping counters (zeros
-        when no catalog is attached), plus the lock-order validator's
+        when no catalog is attached; a partitioned catalog adds its
+        scatter/probe counters), plus the lock-order validator's
         counters — all zero unless ``REPRO_LOCKCHECK=1`` instrumented the
         locks (see :mod:`repro.analysis.lockcheck`) — plus the deferred-
         capture counters (capture/encode-thread seconds, parked pairs and
@@ -318,7 +329,7 @@ class LineageRuntime:
     #
     # Catalog-backed stores always report their manifest (segment file)
     # size — opened or not — so the totals neither force a segment open
-    # nor drift as queries lazily open or the LRU evicts stores; resident
+    # nor drift as queries lazily open or the cache evicts stores; resident
     # stores report their logical footprint.
 
     def total_disk_bytes(self) -> int:
@@ -351,7 +362,7 @@ class LineageRuntime:
     def close(self) -> None:
         """Stop the background encode worker (re-raising the first failure
         a background job parked), then release every mapping this runtime
-        holds open: the catalog's LRU cache, and any resident store
+        holds open: the catalog's open-store cache, and any resident store
         hydrated straight from a segment.  Mappings are released even when
         a background encode failed — the failure propagates afterwards."""
         try:
@@ -377,13 +388,17 @@ class LineageRuntime:
         directory: str,
         shard_threshold_bytes: int | None = None,
         append: bool = False,
+        partitions=None,
     ) -> int:
         """Drain any in-flight background encodes, then persist every
         lineage store (see :meth:`_flush_all_now` for the write itself);
         returns total bytes written."""
         self.drain_capture()
         return self._flush_all_now(
-            directory, shard_threshold_bytes=shard_threshold_bytes, append=append
+            directory,
+            shard_threshold_bytes=shard_threshold_bytes,
+            append=append,
+            partitions=partitions,
         )
 
     def flush_all_async(
@@ -391,6 +406,7 @@ class LineageRuntime:
         directory: str,
         shard_threshold_bytes: int | None = None,
         append: bool = False,
+        partitions=None,
     ):
         """Queue the flush on the background encode worker and return its
         :class:`~concurrent.futures.Future` (resolving to bytes written).
@@ -406,6 +422,7 @@ class LineageRuntime:
                 directory,
                 shard_threshold_bytes=shard_threshold_bytes,
                 append=append,
+                partitions=partitions,
             )
         )
 
@@ -414,6 +431,7 @@ class LineageRuntime:
         directory: str,
         shard_threshold_bytes: int | None = None,
         append: bool = False,
+        partitions=None,
     ) -> int:
         """Persist every lineage store under ``directory`` as one segment
         each (lowered batch-scan tables included; sharded into
@@ -434,30 +452,58 @@ class LineageRuntime:
         When a catalog is attached and ``append`` is False, its entries
         that no query has opened yet are borrowed (pinned) *one at a time*
         as the writer reaches them, so a lazy ``load_all`` followed by a
-        ``flush_all`` is lossless, an LRU eviction racing the flush can
+        ``flush_all`` is lossless, a cache eviction racing the flush can
         never close a store mid-write, and peak resident bytes overshoot
         the memory budget by at most one store rather than the whole
         workflow.  A multi-generation catalog entry is re-flushed as its
-        merged (compacted) segment."""
+        merged (compacted) segment.
+
+        ``partitions`` (an int or a node→partition-id mapping) splits the
+        flush into a :class:`~repro.storage.partition.PartitionedCatalog`
+        root instead of one monolithic catalog; omitted, a full flush over
+        an attached partitioned catalog to its own directory preserves the
+        existing layout, and ``append=True`` to a partitioned root routes
+        each delta to its owning partition (``partitions`` itself cannot
+        combine with ``append`` — appends never re-partition)."""
         import os
 
         from repro.core.catalog import StoreCatalog
+        from repro.storage.partition import PartitionedCatalog, is_partitioned_root
 
         resident = dict(self._stores)
         catalog = self._catalog
 
         if append:
+            if partitions is not None:
+                raise LineageError(
+                    "append=True cannot re-partition; flush the catalog fresh "
+                    "with partitions=... instead"
+                )
             if catalog is not None and os.path.abspath(
                 catalog.directory
             ) == os.path.abspath(directory):
                 return catalog.append_stores(
                     resident, shard_threshold_bytes=shard_threshold_bytes
                 )
+            if is_partitioned_root(directory):
+                root = PartitionedCatalog.open(directory)
+                try:
+                    return root.append_stores(
+                        resident, shard_threshold_bytes=shard_threshold_bytes
+                    )
+                finally:
+                    root.close()
             appended, total = StoreCatalog.append(
                 directory, resident, shard_threshold_bytes=shard_threshold_bytes
             )
             appended.close()
             return total
+
+        if partitions is None and catalog is not None and hasattr(
+            catalog, "node_map"
+        ) and os.path.abspath(catalog.directory) == os.path.abspath(directory):
+            # re-flushing a partitioned root onto itself keeps its layout
+            partitions = catalog.node_map()
 
         class _Stores:
             """One-at-a-time borrowing view consumed by StoreCatalog.write."""
@@ -480,6 +526,15 @@ class LineageRuntime:
                         # store (or abandons the iteration)
                         catalog.release(record)
 
+        if partitions is not None:
+            root, total = PartitionedCatalog.write(
+                directory,
+                _Stores(),
+                partitions=partitions,
+                shard_threshold_bytes=shard_threshold_bytes,
+            )
+            root.close()
+            return total
         _, total = StoreCatalog.write(
             directory, _Stores(), shard_threshold_bytes=shard_threshold_bytes
         )
@@ -493,14 +548,24 @@ class LineageRuntime:
         recorded strategies are registered so the query planner sees them,
         and each store's segment is opened lazily (mmap-backed) the first
         time a query asks for it via :meth:`store_for` or a session.
-        ``memory_budget_bytes`` bounds the catalog's open-store cache (LRU
-        eviction); None keeps it unbounded.  Directories flushed before
-        the segmented format (a ``manifest.json`` with per-component
-        ``.bin`` files) still load, eagerly, via the legacy fallback."""
+        ``memory_budget_bytes`` bounds the catalog's open-store cache (2Q
+        eviction); None keeps it unbounded.  A directory holding a
+        ``partitions.json`` root manifest attaches as a
+        :class:`~repro.storage.partition.PartitionedCatalog` (the budget is
+        split across its partitions); directories flushed before the
+        segmented format (a ``manifest.json`` with per-component ``.bin``
+        files) still load, eagerly, via the legacy fallback."""
         import os
 
         from repro.core.catalog import MANIFEST_NAME, StoreCatalog
+        from repro.storage.partition import PartitionedCatalog, is_partitioned_root
 
+        if is_partitioned_root(directory):
+            return self.attach_catalog(
+                PartitionedCatalog.open(
+                    directory, memory_budget_bytes=memory_budget_bytes
+                )
+            )
         if not os.path.exists(os.path.join(directory, MANIFEST_NAME)) and os.path.exists(
             os.path.join(directory, "manifest.json")
         ):

@@ -18,7 +18,7 @@ Concurrent serving::
 
 ``serve`` fans a query batch across a thread pool; every worker thread
 borrows stores through its own :class:`~repro.core.query.QuerySession`, so
-the catalog's LRU cache shares one mmap per store among the readers and
+the catalog's 2Q cache shares one mmap per store among the readers and
 never closes a mapping under a pinned session.
 """
 
@@ -92,7 +92,7 @@ class SubZero:
         self.enable_entire_array = enable_entire_array
         self.enable_query_opt = enable_query_opt
         #: cap on resident lineage-segment bytes when serving off a flushed
-        #: catalog (LRU eviction of open stores); None keeps it unbounded
+        #: catalog (2Q eviction of open stores); None keeps it unbounded
         self.memory_budget_bytes = memory_budget_bytes
         if capture not in ("deferred", "eager"):
             raise ValueError(
@@ -116,6 +116,9 @@ class SubZero:
         #: foreground pressure signal for the maintenance worker: queries
         #: currently executing through :meth:`serve`
         self._serving = _InflightGauge()
+        #: cached scatter-gather wrapper over the executor, rebuilt whenever
+        #: the executor or the attached partitioned catalog changes
+        self._scatter = None
 
     # -- strategy management ---------------------------------------------------
 
@@ -193,6 +196,7 @@ class SubZero:
         shard_threshold_bytes: int | None = None,
         append: bool = False,
         wait: bool = True,
+        partitions=None,
     ):
         """Persist every materialised lineage store under ``directory`` as
         segment files plus a catalog manifest; returns bytes written.
@@ -212,15 +216,28 @@ class SubZero:
         immediately, so flushing generation ``N`` overlaps the workflow
         computing ``N+1``.  :meth:`close` joins every pending background
         flush and re-raises the first :class:`~repro.errors.StorageError`,
-        so failures cannot be silently dropped."""
+        so failures cannot be silently dropped.
+
+        ``partitions=N`` (or an explicit node→partition-id mapping) splits
+        the flush into a partitioned catalog root — N independent catalog
+        directories under one ``partitions.json`` manifest (see
+        :mod:`repro.storage.partition` and ``docs/partitioning.md``);
+        :meth:`load_lineage` auto-detects the root and queries scatter
+        across only the partitions that can match."""
         if self.runtime is None:
             raise WorkflowError("execute the workflow before flushing lineage")
         if wait:
             return self.runtime.flush_all(
-                directory, shard_threshold_bytes=shard_threshold_bytes, append=append
+                directory,
+                shard_threshold_bytes=shard_threshold_bytes,
+                append=append,
+                partitions=partitions,
             )
         future = self.runtime.flush_all_async(
-            directory, shard_threshold_bytes=shard_threshold_bytes, append=append
+            directory,
+            shard_threshold_bytes=shard_threshold_bytes,
+            append=append,
+            partitions=partitions,
         )
         self._background.append((self.runtime, future))
         return future
@@ -231,21 +248,31 @@ class SubZero:
         strategy: StorageStrategy | None = None,
         budget_bytes: int | None = None,
         shard_threshold_bytes: int | None = None,
+        parallel: int | None = None,
     ):
         """Merge the attached catalog's delta generations back into one
         segment per store, online (concurrent sessions keep serving; see
         :meth:`~repro.core.catalog.StoreCatalog.compact`).  Returns the
-        :class:`~repro.core.catalog.CompactionReport`."""
+        :class:`~repro.core.catalog.CompactionReport`.
+
+        On a partitioned catalog the sweep fans across the partitions on a
+        small thread pool (their maintenance locks are independent);
+        ``parallel`` caps the workers — ignored for a monolithic catalog,
+        where the maintenance lock serialises compaction anyway."""
         if self.runtime is None or self.runtime.catalog is None:
             raise WorkflowError(
                 "no lineage catalog attached; load_lineage/resume first"
             )
-        return self.runtime.catalog.compact(
+        catalog = self.runtime.catalog
+        kwargs = dict(
             node=node,
             strategy=strategy,
             budget_bytes=budget_bytes,
             shard_threshold_bytes=shard_threshold_bytes,
         )
+        if hasattr(catalog, "partition_ids"):
+            kwargs["parallel"] = parallel
+        return catalog.compact(**kwargs)
 
     def compaction_advice(
         self, n_query_cells: int = 64
@@ -375,9 +402,30 @@ class SubZero:
             raise QueryError("execute the workflow before running lineage queries")
         return self.executor
 
+    def _dispatch_request(
+        self, executor: QueryExecutor, request: QueryRequest, session
+    ) -> QueryResult:
+        """Route one request: straight through the executor for a
+        monolithic catalog, through the cached
+        :class:`~repro.storage.partition.ScatterGatherExecutor` (which
+        records the partition fan-out plan) for a partitioned one."""
+        catalog = self.runtime.catalog if self.runtime is not None else None
+        if catalog is None or not hasattr(catalog, "partition_ids"):
+            return executor.execute_request(request, session=session)
+        scatter = self._scatter
+        if (
+            scatter is None
+            or scatter._executor is not executor
+            or scatter.catalog is not catalog
+        ):
+            from repro.storage.partition import ScatterGatherExecutor
+
+            scatter = self._scatter = ScatterGatherExecutor(executor, catalog)
+        return scatter.execute_request(request, session=session)
+
     def session(self) -> QuerySession:
         """A borrow scope for a batch of queries: catalog stores touched
-        through it stay pinned (immune to LRU eviction, one shared mmap)
+        through it stay pinned (immune to cache eviction, one shared mmap)
         until the session closes.  Use as a context manager::
 
             with sz.session() as session:
@@ -424,7 +472,7 @@ class SubZero:
             self._serving.enter()
             try:
                 if isinstance(query, QueryRequest):
-                    return executor.execute_request(query, session=session)
+                    return self._dispatch_request(executor, query, session)
                 return executor.execute(query, session=session)
             finally:
                 self._serving.exit()
@@ -463,8 +511,10 @@ class SubZero:
         The same frozen, serializable request object drives the embedded
         API, :meth:`serve`, and the network daemon
         (:mod:`repro.serving`), so ``sz.query(r)`` and a daemon answering
-        ``r.to_dict()`` over the wire are provably the same query."""
-        return self._require_executor().execute_request(request, session=session)
+        ``r.to_dict()`` over the wire are provably the same query.  Over a
+        partitioned catalog the request is planned and accounted by the
+        scatter-gather layer first (see :meth:`_dispatch_request`)."""
+        return self._dispatch_request(self._require_executor(), request, session)
 
     def backward_query(self, cells, path, session=None, **overrides) -> QueryResult:
         """Backward query along an explicit path.  Convenience wrapper for

@@ -75,6 +75,9 @@ class MaintenanceWorker:
         self._thread: threading.Thread | None = None
         self._error: BaseException | None = None
         self._error_lock = lockcheck.make_lock("serving.maintenance.error")
+        #: round-robin cursor over a partitioned catalog's partition ids
+        #: (only the worker thread touches it)
+        self._rr = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -117,6 +120,38 @@ class MaintenanceWorker:
         if error is not None:
             raise error
 
+    # -- candidate selection ---------------------------------------------------
+
+    def _pick(self, advice):
+        """The next compaction candidate from non-empty ``advice``.
+
+        A monolithic catalog takes the top-ranked entry.  A partitioned
+        catalog rotates *round-robin across partitions*: each pass serves
+        the worst candidate of the next partition (in id order) that has
+        any advice, so one hot partition's backlog cannot starve the
+        others' maintenance — every partition's read amplification drains
+        within one rotation."""
+        runtime = getattr(self.engine, "runtime", None)
+        catalog = getattr(runtime, "catalog", None)
+        partition_for = getattr(catalog, "partition_for_node", None)
+        if partition_for is None:
+            return advice[0]
+        ids = catalog.partition_ids()
+        if len(ids) <= 1:
+            return advice[0]
+        by_pid = {}
+        for item in advice:
+            # advice is sorted worst-first, so the first entry seen per
+            # partition is that partition's costliest candidate
+            by_pid.setdefault(partition_for(item[0]), item)
+        n = len(ids)
+        for offset in range(n):
+            item = by_pid.get(ids[(self._rr + offset) % n])
+            if item is not None:
+                self._rr = (self._rr + offset + 1) % n
+                return item
+        return advice[0]  # every candidate is on an unmapped node
+
     # -- the loop ------------------------------------------------------------
 
     def _run(self) -> None:
@@ -136,7 +171,7 @@ class MaintenanceWorker:
                 if not advice:
                     backoff = self.idle_interval_s  # steady state: nap
                     continue
-                node, strategy, _gens, _penalty = advice[0]
+                node, strategy, _gens, _penalty = self._pick(advice)
                 # re-check between advice and the slice: a query may have
                 # arrived while we ranked candidates
                 if not self.is_idle():

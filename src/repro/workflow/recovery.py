@@ -22,6 +22,13 @@ a raw ``FileNotFoundError``) is quarantined alone, and the generations
 under it keep serving.  Recovery also sweeps up generation files the
 manifest no longer references — the residue of a crash between
 compaction's manifest swap and its deferred unlink.
+
+Partitioned catalogs (:mod:`repro.storage.partition`) recover *per
+partition*: each live partition's segments are verified exactly like a
+monolithic catalog's, and a partition whose own ``catalog.json`` is torn
+is quarantined whole — flagged in the root ``partitions.json`` manifest so
+later loads skip it — degrading only that partition's nodes while every
+other partition keeps serving.
 """
 
 from __future__ import annotations
@@ -30,7 +37,7 @@ import os
 from dataclasses import dataclass, field
 
 from repro.arrays.versions import VersionStore
-from repro.core.catalog import StoreCatalog
+from repro.core.catalog import MANIFEST_NAME, StoreCatalog
 from repro.errors import StorageError, WorkflowError
 from repro.storage.segment import generation_files, generation_path, open_segment, segment_files
 from repro.storage.wal import WriteAheadLog
@@ -48,11 +55,20 @@ class LineageRecovery:
     """Outcome of :func:`recover_lineage`: the verified catalog plus what
     had to be set aside."""
 
-    catalog: StoreCatalog
-    #: ``(segment filename, StorageError)`` per quarantined segment
+    #: the verified :class:`StoreCatalog` — or a
+    #: :class:`~repro.storage.partition.PartitionedCatalog` when the
+    #: directory held a partitioned root
+    catalog: object
+    #: ``(segment filename, StorageError)`` per quarantined segment; for a
+    #: partitioned catalog the filename is partition-qualified
+    #: (``"p1/smooth__full...seg"``), and a partition torn whole reports as
+    #: its manifest path (``"p1/catalog.json"``)
     quarantined: list[tuple[str, StorageError]] = field(default_factory=list)
     #: unreferenced generation files swept up (compaction-crash residue)
     removed_stale: list[str] = field(default_factory=list)
+    #: partition ids set aside whole (torn child manifest) — empty for a
+    #: monolithic catalog
+    quarantined_partitions: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -86,8 +102,66 @@ def recover_lineage(
     ``runtime`` (a :class:`~repro.core.runtime.LineageRuntime`) is attached
     to the verified catalog when given, so queries resume lazily off the
     surviving segments.
+
+    A partitioned root (``partitions.json``) recovers partition by
+    partition: live partitions are verified like monolithic catalogs (their
+    quarantined segment names come back partition-qualified), and a
+    partition whose child manifest itself fails to open is quarantined
+    *whole* — flagged in the root manifest, listed in
+    ``quarantined_partitions`` — so only its nodes degrade.
     """
+    from repro.storage.partition import PartitionedCatalog, is_partitioned_root
+
+    if is_partitioned_root(directory):
+        root = PartitionedCatalog.open(directory)
+        quarantined: list[tuple[str, StorageError]] = []
+        removed_stale: list[str] = []
+        torn: list[str] = []
+        for pid, exc in root.degraded:
+            error = StorageError(
+                f"partition {pid!r} failed to open and was quarantined "
+                f"whole: {exc}"
+            )
+            if strict:
+                raise error from exc
+            torn.append(pid)
+            quarantined.append((f"{pid}/{MANIFEST_NAME}", error))
+        for pid in root.partition_ids():
+            child = root.partition(pid)
+            if child is None:
+                continue
+            bad, stale = _verify_catalog(child, strict=strict, prefix=f"{pid}/")
+            quarantined.extend(bad)
+            removed_stale.extend(stale)
+        for pid in torn:
+            # persist the verdict so later plain load_all calls skip the
+            # torn partition instead of re-degrading it on every open
+            root.mark_quarantined(pid)
+        if runtime is not None:
+            runtime.attach_catalog(root)
+        return LineageRecovery(
+            catalog=root,
+            quarantined=quarantined,
+            removed_stale=removed_stale,
+            quarantined_partitions=torn,
+        )
+
     catalog = StoreCatalog.open(directory)
+    quarantined, removed_stale = _verify_catalog(catalog, strict=strict)
+    if runtime is not None:
+        runtime.attach_catalog(catalog)
+    return LineageRecovery(
+        catalog=catalog, quarantined=quarantined, removed_stale=removed_stale
+    )
+
+
+def _verify_catalog(
+    catalog: StoreCatalog, strict: bool = False, prefix: str = ""
+) -> tuple[list[tuple[str, StorageError]], list[str]]:
+    """Checksum-verify one catalog's segments, quarantining failures (see
+    :func:`recover_lineage`); returns ``(quarantined, removed_stale)`` with
+    filenames ``prefix``-qualified for partition-aware reporting."""
+    directory = catalog.directory
     quarantined: list[tuple[str, StorageError]] = []
     for entry in catalog.entries():
         path = os.path.join(directory, entry.file)
@@ -103,7 +177,7 @@ def recover_lineage(
         except (StorageError, OSError) as exc:
             generation = f", generation {entry.gen}" if entry.gen else ""
             error = StorageError(
-                f"lineage segment {entry.file!r} (store {entry.node!r} / "
+                f"lineage segment {prefix + entry.file!r} (store {entry.node!r} / "
                 f"{entry.strategy.label}{generation}) failed verification "
                 f"and was quarantined: {exc}"
             )
@@ -114,17 +188,15 @@ def recover_lineage(
                 if os.path.exists(fpath):
                     os.replace(fpath, fpath + QUARANTINE_SUFFIX)
             catalog.drop_generation(entry.node, entry.strategy, entry.gen)
-            quarantined.append((entry.file, error))
-    removed_stale = _remove_stale_generations(directory, catalog)
+            quarantined.append((prefix + entry.file, error))
+    removed_stale = [
+        prefix + name for name in _remove_stale_generations(directory, catalog)
+    ]
     if quarantined:
         # persist the quarantine: a later plain load_all must not re-register
         # strategies whose segments were set aside
         catalog.save_manifest()
-    if runtime is not None:
-        runtime.attach_catalog(catalog)
-    return LineageRecovery(
-        catalog=catalog, quarantined=quarantined, removed_stale=removed_stale
-    )
+    return quarantined, removed_stale
 
 
 def _remove_stale_generations(directory: str, catalog: StoreCatalog) -> list[str]:

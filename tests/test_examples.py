@@ -16,6 +16,7 @@ EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
         "genomics_clinician.py",
         "optimizer_tour.py",
         "custom_udf.py",
+        "partitioned_catalog.py",
     ],
 )
 def test_example_runs(script, capsys, monkeypatch):
